@@ -1,0 +1,156 @@
+//! The component abstraction.
+//!
+//! Following MGPUSim (paper §II), groups of hardware circuits are organized
+//! as *components* that communicate only by exchanging messages over ports.
+//! Components are *ticking*: the engine calls [`Component::tick`] once per
+//! clock cycle while the component reports progress; a component that makes
+//! no progress goes to sleep and is woken when a message arrives at one of
+//! its ports (or when the RTM "Tick" button forces a tick — Case Study 2).
+
+use crate::engine::Ctx;
+use crate::ids::ComponentId;
+use crate::state::ComponentState;
+use crate::time::Freq;
+
+/// Identity shared by every component; embed one in each component struct.
+///
+/// The `id` is assigned by [`Simulation::register`](crate::Simulation::register);
+/// until then it is a placeholder.
+#[derive(Debug, Clone)]
+pub struct CompBase {
+    /// Registry index, valid after registration.
+    pub id: ComponentId,
+    /// Hierarchical name, e.g. `GPU[0].SA[3].L1VCache[1]`.
+    pub name: String,
+    /// Clock domain of this component.
+    pub freq: Freq,
+    /// Short type label shown by the monitor and the profiler.
+    pub kind: &'static str,
+}
+
+impl CompBase {
+    /// Creates a base with a 1 GHz default clock.
+    pub fn new(kind: &'static str, name: impl Into<String>) -> Self {
+        CompBase {
+            id: ComponentId::from_index(usize::MAX >> 1),
+            name: name.into(),
+            freq: Freq::default(),
+            kind,
+        }
+    }
+
+    /// Sets the clock frequency, builder style.
+    pub fn with_freq(mut self, freq: Freq) -> Self {
+        self.freq = freq;
+        self
+    }
+}
+
+/// A simulated hardware component.
+///
+/// # Examples
+///
+/// A minimal counter that ticks ten times and then sleeps forever:
+///
+/// ```
+/// use akita::{CompBase, Component, Ctx, ComponentState, Simulation, VTime};
+///
+/// struct Counter { base: CompBase, n: u32 }
+///
+/// impl Component for Counter {
+///     fn base(&self) -> &CompBase { &self.base }
+///     fn base_mut(&mut self) -> &mut CompBase { &mut self.base }
+///     fn tick(&mut self, _ctx: &mut Ctx) -> bool {
+///         self.n += 1;
+///         self.n < 10
+///     }
+///     fn state(&self) -> ComponentState {
+///         ComponentState::new().field("n", self.n)
+///     }
+/// }
+///
+/// let mut sim = Simulation::new();
+/// let (id, counter) = sim.register(Counter {
+///     base: CompBase::new("Counter", "C0"),
+///     n: 0,
+/// });
+/// sim.wake_at(id, VTime::ZERO);
+/// sim.run();
+/// assert_eq!(counter.borrow().n, 10);
+/// ```
+pub trait Component {
+    /// Shared identity.
+    fn base(&self) -> &CompBase;
+
+    /// Mutable shared identity (used by the registry to assign ids).
+    fn base_mut(&mut self) -> &mut CompBase;
+
+    /// Advances the component by one cycle.
+    ///
+    /// Returns `true` when the component made forward progress and wants to
+    /// tick again next cycle; `false` puts it to sleep until woken by a
+    /// message delivery or [`Ctx::wake`].
+    fn tick(&mut self, ctx: &mut Ctx) -> bool;
+
+    /// Handles a custom event scheduled with
+    /// [`Ctx::schedule_custom`](crate::Ctx::schedule_custom).
+    fn handle_custom(&mut self, _code: u64, _ctx: &mut Ctx) {}
+
+    /// A snapshot of the component's observable fields for the monitor.
+    fn state(&self) -> ComponentState {
+        ComponentState::new()
+    }
+
+    /// Hierarchical name.
+    fn name(&self) -> &str {
+        &self.base().name
+    }
+
+    /// Registry id (valid after registration).
+    fn id(&self) -> ComponentId {
+        self.base().id
+    }
+
+    /// Clock domain.
+    fn freq(&self) -> Freq {
+        self.base().freq
+    }
+
+    /// Short type label for the monitor and profiler.
+    fn kind(&self) -> &'static str {
+        self.base().kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Freq;
+
+    struct Dummy {
+        base: CompBase,
+    }
+
+    impl Component for Dummy {
+        fn base(&self) -> &CompBase {
+            &self.base
+        }
+        fn base_mut(&mut self) -> &mut CompBase {
+            &mut self.base
+        }
+        fn tick(&mut self, _ctx: &mut Ctx) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn defaults_come_from_base() {
+        let d = Dummy {
+            base: CompBase::new("Dummy", "D[0]").with_freq(Freq::mhz(500)),
+        };
+        assert_eq!(d.name(), "D[0]");
+        assert_eq!(d.kind(), "Dummy");
+        assert_eq!(d.freq(), Freq::mhz(500));
+        assert!(d.state().fields.is_empty());
+    }
+}

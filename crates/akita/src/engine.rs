@@ -1,0 +1,663 @@
+//! The simulation engine: event loop, scheduling context, and the shared
+//! control block that the monitoring thread reads and writes.
+//!
+//! The engine loop embodies the paper's three low-overhead design choices
+//! (§VII): monitoring work happens *on demand only* (a query channel drained
+//! between events), serialization is *fine-grained* (one component or one
+//! buffer snapshot per request), and the monitor itself runs on a
+//! *dedicated thread* — only the cheap channel drain and two atomic stores
+//! touch the simulation thread.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+
+use crate::buffer::BufferRegistry;
+use crate::component::Component;
+use crate::hook::Hook;
+use crate::conn::Connection;
+use crate::ids::ComponentId;
+use crate::port::Port;
+use crate::profile;
+use crate::query::{
+    ComponentInfo, ComponentStateDto, EngineStatus, QueryClient, SimQuery, TopologyEdge,
+    TraceRecord,
+};
+use crate::queue::{EventKind, EventQueue};
+use crate::time::VTime;
+
+/// What the engine loop is currently doing, as published to the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum RunState {
+    /// Processing events.
+    Running = 0,
+    /// Paused by the user; serving monitor queries only.
+    Paused = 1,
+    /// Event queue empty in interactive mode: the simulation has either
+    /// finished or deadlocked; still serving monitor queries.
+    Idle = 2,
+    /// The run loop returned.
+    Finished = 3,
+}
+
+impl RunState {
+    fn from_u8(v: u8) -> RunState {
+        match v {
+            0 => RunState::Running,
+            1 => RunState::Paused,
+            2 => RunState::Idle,
+            _ => RunState::Finished,
+        }
+    }
+}
+
+/// Lock-free state shared between the simulation thread and monitor thread.
+///
+/// The simulation publishes virtual time and run state; the monitor flips
+/// pause/stop flags (the Simulation Controls view, paper Fig 2 C).
+#[derive(Debug, Default)]
+pub struct SimControl {
+    pause: AtomicBool,
+    stop: AtomicBool,
+    state: AtomicU8,
+    now_ps: AtomicU64,
+    events: AtomicU64,
+}
+
+impl SimControl {
+    /// Requests the engine pause at the next event boundary.
+    pub fn pause(&self) {
+        self.pause.store(true, Ordering::Release);
+    }
+
+    /// Lets a paused engine continue.
+    pub fn resume(&self) {
+        self.pause.store(false, Ordering::Release);
+    }
+
+    /// Whether a pause is requested.
+    pub fn is_paused(&self) -> bool {
+        self.pause.load(Ordering::Acquire)
+    }
+
+    /// Asks the run loop to return as soon as possible.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Whether a stop is requested.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Current virtual time (updated once per event).
+    pub fn now(&self) -> VTime {
+        VTime::from_ps(self.now_ps.load(Ordering::Relaxed))
+    }
+
+    /// Current run state.
+    pub fn state(&self) -> RunState {
+        RunState::from_u8(self.state.load(Ordering::Relaxed))
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_handled(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    fn publish(&self, now: VTime) {
+        self.now_ps.store(now.ps(), Ordering::Relaxed);
+    }
+
+    fn set_state(&self, s: RunState) {
+        self.state.store(s as u8, Ordering::Relaxed);
+    }
+}
+
+/// Scheduling context handed to components during [`Component::tick`].
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    pub(crate) sched: &'a mut Scheduler,
+}
+
+impl Ctx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> VTime {
+        self.sched.now
+    }
+
+    /// The component currently being dispatched.
+    pub fn current(&self) -> ComponentId {
+        self.sched.current
+    }
+
+    /// Schedules a tick for `component` at the current time, waking it if
+    /// asleep.
+    pub fn wake(&mut self, component: ComponentId) {
+        let t = self.sched.now;
+        self.sched.schedule_tick(component, t);
+    }
+
+    /// Schedules a tick for `component` at time `t` (clamped to now).
+    pub fn schedule_tick(&mut self, component: ComponentId, t: VTime) {
+        self.sched.schedule_tick(component, t);
+    }
+
+    /// Schedules a custom event for `component` at time `t`.
+    pub fn schedule_custom(&mut self, component: ComponentId, code: u64, t: VTime) {
+        let t = t.max(self.sched.now);
+        self.sched.queue.push(t, component, EventKind::Custom(code));
+    }
+}
+
+/// The event queue plus tick bookkeeping.
+#[derive(Debug)]
+pub(crate) struct Scheduler {
+    queue: EventQueue,
+    now: VTime,
+    current: ComponentId,
+    pending_ticks: HashSet<(ComponentId, VTime)>,
+}
+
+impl Scheduler {
+    fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            now: VTime::ZERO,
+            current: ComponentId::from_index(0),
+            pending_ticks: HashSet::new(),
+        }
+    }
+
+    fn schedule_tick(&mut self, component: ComponentId, t: VTime) {
+        let t = t.max(self.now);
+        if self.pending_ticks.insert((component, t)) {
+            self.queue.push(t, component, EventKind::Tick);
+        }
+    }
+}
+
+/// Why [`Simulation::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The event queue drained: the simulation completed (or deadlocked —
+    /// the engine cannot tell the two apart; see paper task T3).
+    Completed,
+    /// [`SimControl::request_stop`] or [`SimQuery::Terminate`] ended the run.
+    Stopped,
+    /// A `run_until` deadline was reached with events still pending.
+    DeadlineReached,
+}
+
+/// Statistics from one run of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Events dispatched during this call.
+    pub events: u64,
+    /// Virtual time when the run ended.
+    pub end_time: VTime,
+    /// Why the run ended.
+    pub reason: StopReason,
+}
+
+/// A complete simulation: engine, component registry, and monitoring hooks.
+///
+/// See [`Component`] for a complete usage example.
+pub struct Simulation {
+    sched: Scheduler,
+    components: Vec<Rc<RefCell<dyn Component>>>,
+    by_name: HashMap<String, ComponentId>,
+    buffers: BufferRegistry,
+    ctrl: Arc<SimControl>,
+    query_tx: Sender<SimQuery>,
+    query_rx: Receiver<SimQuery>,
+    /// Events between query-channel polls (1 = poll every event).
+    query_poll_interval: u64,
+    terminate_requested: bool,
+    topology: Vec<TopologyEdge>,
+    /// Recent-event ring buffer (the trace view); empty when disabled.
+    trace: std::collections::VecDeque<(VTime, ComponentId, EventKind)>,
+    trace_enabled: bool,
+    trace_cap: usize,
+    hooks: Vec<Rc<RefCell<dyn Hook>>>,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Simulation::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation.
+    pub fn new() -> Self {
+        let (query_tx, query_rx) = unbounded();
+        Simulation {
+            sched: Scheduler::new(),
+            components: Vec::new(),
+            by_name: HashMap::new(),
+            buffers: BufferRegistry::new(),
+            ctrl: Arc::new(SimControl::default()),
+            query_tx,
+            query_rx,
+            query_poll_interval: 1,
+            terminate_requested: false,
+            topology: Vec::new(),
+            trace: std::collections::VecDeque::new(),
+            trace_enabled: false,
+            trace_cap: 1024,
+            hooks: Vec::new(),
+        }
+    }
+
+    /// Sets how many events are dispatched between monitor-query polls.
+    ///
+    /// The default of 1 matches the paper's design; larger values trade
+    /// monitor latency for (marginally) less per-event work and exist for
+    /// the ablation benchmarks.
+    pub fn set_query_poll_interval(&mut self, every_n_events: u64) {
+        self.query_poll_interval = every_n_events.max(1);
+    }
+
+    /// Registers a component, assigning its [`ComponentId`].
+    ///
+    /// Returns the id and a shared handle to the concrete component so
+    /// builders can keep wiring it up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another component already uses the same name.
+    pub fn register<C: Component + 'static>(&mut self, component: C) -> (ComponentId, Rc<RefCell<C>>) {
+        let id = ComponentId::from_index(self.components.len());
+        let rc = Rc::new(RefCell::new(component));
+        rc.borrow_mut().base_mut().id = id;
+        let name = rc.borrow().name().to_owned();
+        let prev = self.by_name.insert(name.clone(), id);
+        assert!(prev.is_none(), "duplicate component name: {name}");
+        self.components.push(Rc::clone(&rc) as Rc<RefCell<dyn Component>>);
+        (id, rc)
+    }
+
+    /// Attaches `port` to `conn` in both directions and records the port's
+    /// owner for wake-ups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is already attached to a connection.
+    pub fn connect<C: Connection + 'static>(
+        &mut self,
+        conn: &Rc<RefCell<C>>,
+        port: &Port,
+        owner: ComponentId,
+    ) {
+        port.set_owner(owner);
+        let conn_id = conn.borrow().id();
+        conn.borrow_mut().attach(port);
+        port.attach_conn(Rc::clone(conn) as Rc<RefCell<dyn Connection>>, conn_id);
+        self.topology.push(TopologyEdge {
+            connection: conn.borrow().name().to_owned(),
+            component: self.components[owner.index()].borrow().name().to_owned(),
+            port: port.name(),
+        });
+    }
+
+    /// The wiring recorded by [`Simulation::connect`].
+    pub fn topology(&self) -> &[TopologyEdge] {
+        &self.topology
+    }
+
+    /// The registry new [`crate::Buffer`]s should join to be monitorable.
+    pub fn buffer_registry(&self) -> BufferRegistry {
+        self.buffers.clone()
+    }
+
+    /// The shared control block (pause/stop/time/state).
+    pub fn control(&self) -> Arc<SimControl> {
+        Arc::clone(&self.ctrl)
+    }
+
+    /// A thread-safe client for monitor queries against this simulation.
+    pub fn client(&self) -> QueryClient {
+        QueryClient::new(self.query_tx.clone(), Arc::clone(&self.ctrl))
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VTime {
+        self.sched.now
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Looks up a component by hierarchical name.
+    pub fn component_id(&self, name: &str) -> Option<ComponentId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Shared handle to a registered component.
+    pub fn component(&self, id: ComponentId) -> Rc<RefCell<dyn Component>> {
+        Rc::clone(&self.components[id.index()])
+    }
+
+    /// Schedules a tick for `component` at `t` — used to kick off the
+    /// initial activity after building a simulation.
+    pub fn wake_at(&mut self, component: ComponentId, t: VTime) {
+        self.sched.schedule_tick(component, t);
+    }
+
+    /// Installs a dispatch [`Hook`], returning a shared handle so its
+    /// state stays readable after runs.
+    pub fn add_hook<H: Hook + 'static>(&mut self, hook: H) -> Rc<RefCell<H>> {
+        let rc = Rc::new(RefCell::new(hook));
+        self.hooks.push(Rc::clone(&rc) as Rc<RefCell<dyn Hook>>);
+        rc
+    }
+
+    /// A scheduling context outside event dispatch (for driver-style code
+    /// that injects work between runs).
+    pub fn ctx(&mut self) -> Ctx<'_> {
+        Ctx {
+            sched: &mut self.sched,
+        }
+    }
+
+    fn dispatch(&mut self, ev: crate::queue::Ev) {
+        self.sched.now = ev.time;
+        self.sched.current = ev.component;
+        self.ctrl.publish(ev.time);
+        self.ctrl.events.fetch_add(1, Ordering::Relaxed);
+        if self.trace_enabled {
+            if self.trace.len() >= self.trace_cap {
+                self.trace.pop_front();
+            }
+            self.trace.push_back((ev.time, ev.component, ev.kind));
+        }
+        if ev.kind == EventKind::Tick {
+            self.sched.pending_ticks.remove(&(ev.component, ev.time));
+        }
+        let comp_rc = Rc::clone(&self.components[ev.component.index()]);
+        if !self.hooks.is_empty() {
+            let comp = comp_rc.borrow();
+            for hook in &self.hooks {
+                hook.borrow_mut().before_event(&ev, &*comp);
+            }
+        }
+        {
+            let mut comp = comp_rc.borrow_mut();
+            let _prof = profile::scope(comp.kind());
+            let mut ctx = Ctx {
+                sched: &mut self.sched,
+            };
+            match ev.kind {
+                EventKind::Tick => {
+                    let progress = comp.tick(&mut ctx);
+                    if progress {
+                        let next = comp.freq().cycle_after(ev.time);
+                        ctx.schedule_tick(ev.component, next);
+                    }
+                }
+                EventKind::Custom(code) => comp.handle_custom(code, &mut ctx),
+            }
+        }
+        if !self.hooks.is_empty() {
+            let comp = comp_rc.borrow();
+            for hook in &self.hooks {
+                hook.borrow_mut().after_event(&ev, &*comp);
+            }
+        }
+    }
+
+    /// Runs one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.sched.queue.pop() {
+            Some(ev) => {
+                self.dispatch(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue drains or a stop is requested.
+    ///
+    /// Monitor queries are served between events and while paused. The
+    /// queue draining means the simulation completed *or* deadlocked; use
+    /// [`Simulation::run_interactive`] to stay alive for post-mortem
+    /// inspection instead.
+    pub fn run(&mut self) -> RunSummary {
+        self.run_inner(None, false)
+    }
+
+    /// Runs until virtual time `deadline`; events after the deadline stay
+    /// queued.
+    pub fn run_until(&mut self, deadline: VTime) -> RunSummary {
+        self.run_inner(Some(deadline), false)
+    }
+
+    /// Runs like [`Simulation::run`], but when the event queue drains the
+    /// engine enters the [`RunState::Idle`] state and keeps serving monitor
+    /// queries (so a hang can be inspected, ticked, and kick-started —
+    /// Case Study 2). Returns only on [`SimQuery::Terminate`] or
+    /// [`SimControl::request_stop`].
+    pub fn run_interactive(&mut self) -> RunSummary {
+        self.run_inner(None, true)
+    }
+
+    fn run_inner(&mut self, deadline: Option<VTime>, interactive: bool) -> RunSummary {
+        let start_events = self.ctrl.events_handled();
+        self.ctrl.set_state(RunState::Running);
+        self.terminate_requested = false;
+        let mut since_poll = 0u64;
+        let reason = loop {
+            if self.ctrl.stop_requested() || self.terminate_requested {
+                break StopReason::Stopped;
+            }
+            if self.ctrl.is_paused() {
+                self.paused_loop();
+                continue;
+            }
+            since_poll += 1;
+            if since_poll >= self.query_poll_interval {
+                since_poll = 0;
+                self.drain_queries();
+            }
+            if let (Some(d), Some(t)) = (deadline, self.sched.queue.peek_time()) {
+                if t > d {
+                    self.sched.now = d;
+                    self.ctrl.publish(d);
+                    break StopReason::DeadlineReached;
+                }
+            }
+            match self.sched.queue.pop() {
+                Some(ev) => self.dispatch(ev),
+                None => {
+                    if interactive {
+                        if self.idle_loop() {
+                            continue;
+                        }
+                        break StopReason::Stopped;
+                    }
+                    break StopReason::Completed;
+                }
+            }
+        };
+        self.ctrl.set_state(RunState::Finished);
+        RunSummary {
+            events: self.ctrl.events_handled() - start_events,
+            end_time: self.sched.now,
+            reason,
+        }
+    }
+
+    /// Serves queries while paused; returns when unpaused or stopping.
+    fn paused_loop(&mut self) {
+        self.ctrl.set_state(RunState::Paused);
+        while self.ctrl.is_paused()
+            && !self.ctrl.stop_requested()
+            && !self.terminate_requested
+        {
+            if let Ok(q) = self.query_rx.recv_timeout(Duration::from_millis(20)) {
+                self.serve_query(q);
+            }
+        }
+        self.ctrl.set_state(RunState::Running);
+    }
+
+    /// Serves queries while the queue is empty. Returns `true` when new
+    /// events appeared (e.g. an injected tick) and the run should continue.
+    fn idle_loop(&mut self) -> bool {
+        self.ctrl.set_state(RunState::Idle);
+        loop {
+            if self.ctrl.stop_requested() || self.terminate_requested {
+                return false;
+            }
+            if !self.sched.queue.is_empty() {
+                self.ctrl.set_state(RunState::Running);
+                return true;
+            }
+            if let Ok(q) = self.query_rx.recv_timeout(Duration::from_millis(20)) {
+                self.serve_query(q);
+            }
+        }
+    }
+
+    /// Drains all pending monitor queries without blocking.
+    pub fn drain_queries(&mut self) {
+        while let Ok(q) = self.query_rx.try_recv() {
+            self.serve_query(q);
+        }
+    }
+
+    fn serve_query(&mut self, q: SimQuery) {
+        match q {
+            SimQuery::Status(reply) => {
+                let _ = reply.send(EngineStatus {
+                    now: self.sched.now,
+                    state: self.ctrl.state(),
+                    events: self.ctrl.events_handled(),
+                    queue_len: self.sched.queue.len(),
+                    components: self.components.len(),
+                    live_buffers: self.buffers.len(),
+                });
+            }
+            SimQuery::ListComponents(reply) => {
+                let list = self
+                    .components
+                    .iter()
+                    .map(|c| {
+                        let c = c.borrow();
+                        ComponentInfo {
+                            name: c.name().to_owned(),
+                            kind: c.kind().to_owned(),
+                        }
+                    })
+                    .collect();
+                let _ = reply.send(list);
+            }
+            SimQuery::ComponentState(name, reply) => {
+                let dto = self.by_name.get(&name).map(|id| {
+                    let c = self.components[id.index()].borrow();
+                    ComponentStateDto {
+                        name: c.name().to_owned(),
+                        kind: c.kind().to_owned(),
+                        state: c.state(),
+                    }
+                });
+                let _ = reply.send(dto);
+            }
+            SimQuery::Buffers(reply) => {
+                let _ = reply.send(self.buffers.snapshot());
+            }
+            SimQuery::TickComponent(name, reply) => {
+                let found = self.by_name.get(&name).copied();
+                if let Some(id) = found {
+                    // Schedule a tick event in the next cycle, like the
+                    // paper's Tick button (§V-B).
+                    let next = {
+                        let freq = self.components[id.index()].borrow().freq();
+                        freq.cycle_after(self.sched.now)
+                    };
+                    self.sched.schedule_tick(id, next);
+                }
+                let _ = reply.send(found.is_some());
+            }
+            SimQuery::KickStart(reply) => {
+                let n = self.components.len();
+                for i in 0..n {
+                    let id = ComponentId::from_index(i);
+                    let next = self.components[i].borrow().freq().cycle_after(self.sched.now);
+                    self.sched.schedule_tick(id, next);
+                }
+                let _ = reply.send(n);
+            }
+            SimQuery::SetProfiling(on) => {
+                if on && !profile::is_enabled() {
+                    profile::reset();
+                }
+                profile::set_enabled(on);
+            }
+            SimQuery::Profile(reply) => {
+                let _ = reply.send(profile::snapshot());
+            }
+            SimQuery::Topology(reply) => {
+                let _ = reply.send(self.topology.clone());
+            }
+            SimQuery::ScheduleCustom(name, code, reply) => {
+                let found = self.by_name.get(&name).copied();
+                if let Some(id) = found {
+                    let next = {
+                        let freq = self.components[id.index()].borrow().freq();
+                        freq.cycle_after(self.sched.now)
+                    };
+                    self.sched.queue.push(next, id, EventKind::Custom(code));
+                }
+                let _ = reply.send(found.is_some());
+            }
+            SimQuery::SetTracing(on) => {
+                self.trace_enabled = on;
+                if !on {
+                    self.trace.clear();
+                }
+            }
+            SimQuery::Trace(n, reply) => {
+                let records: Vec<TraceRecord> = self
+                    .trace
+                    .iter()
+                    .rev()
+                    .take(n)
+                    .rev()
+                    .map(|&(time, comp, kind)| TraceRecord {
+                        time,
+                        component: self.components[comp.index()].borrow().name().to_owned(),
+                        kind,
+                    })
+                    .collect();
+                let _ = reply.send(records);
+            }
+            SimQuery::Terminate => {
+                self.terminate_requested = true;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Simulation({} components, now {}, {} queued events)",
+            self.components.len(),
+            self.sched.now,
+            self.sched.queue.len()
+        )
+    }
+}

@@ -1,0 +1,191 @@
+//! Messages exchanged between components.
+//!
+//! Components in MGPUSim communicate exclusively by exchanging messages over
+//! ports (paper §II). A message is any type implementing [`Msg`]; receivers
+//! recover the concrete type with [`MsgExt::downcast_ref`], mirroring
+//! MGPUSim's Go type switches.
+
+use std::any::Any;
+use std::fmt::Debug;
+
+use crate::ids::{MsgId, PortId};
+use crate::time::VTime;
+
+/// Metadata carried by every message.
+#[derive(Debug, Clone)]
+pub struct MsgMeta {
+    /// Unique message identity.
+    pub id: MsgId,
+    /// The port the message was sent from.
+    pub src: PortId,
+    /// The port the message is addressed to.
+    pub dst: PortId,
+    /// Virtual time at which the message was accepted by a connection.
+    pub send_time: VTime,
+    /// Virtual time at which the message was delivered into the destination
+    /// port's buffer.
+    pub recv_time: VTime,
+    /// Number of bytes the message occupies on the wire, for bandwidth
+    /// modeling.
+    pub traffic_bytes: u32,
+}
+
+impl MsgMeta {
+    /// Creates metadata for a message from `src` to `dst` carrying
+    /// `traffic_bytes` bytes of payload on the wire.
+    pub fn new(src: PortId, dst: PortId, traffic_bytes: u32) -> Self {
+        MsgMeta {
+            id: MsgId::fresh(),
+            src,
+            dst,
+            send_time: VTime::ZERO,
+            recv_time: VTime::ZERO,
+            traffic_bytes,
+        }
+    }
+}
+
+/// A message that can travel over a [`Connection`](crate::Connection).
+///
+/// Implement via the [`impl_msg!`](crate::impl_msg) macro:
+///
+/// ```
+/// use akita::{impl_msg, MsgMeta};
+///
+/// #[derive(Debug)]
+/// struct Ping { meta: MsgMeta }
+/// impl_msg!(Ping);
+/// ```
+pub trait Msg: Any + Debug {
+    /// Shared metadata.
+    fn meta(&self) -> &MsgMeta;
+
+    /// Mutable access to shared metadata (used by connections to stamp
+    /// times).
+    fn meta_mut(&mut self) -> &mut MsgMeta;
+
+    /// Upcast for downcasting support.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Consuming upcast for downcasting support.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+
+    /// A short human-readable label for tracing (defaults to the type name).
+    fn label(&self) -> &'static str {
+        std::any::type_name::<Self>()
+    }
+}
+
+/// Convenience downcasting on `dyn Msg`.
+pub trait MsgExt {
+    /// Borrow the message as a concrete type, if it is one.
+    fn downcast_ref<T: Msg>(&self) -> Option<&T>;
+
+    /// Mutably borrow the message as a concrete type, if it is one.
+    fn downcast_mut<T: Msg>(&mut self) -> Option<&mut T>;
+}
+
+impl MsgExt for dyn Msg {
+    fn downcast_ref<T: Msg>(&self) -> Option<&T> {
+        self.as_any().downcast_ref::<T>()
+    }
+
+    fn downcast_mut<T: Msg>(&mut self) -> Option<&mut T> {
+        self.as_any_mut().downcast_mut::<T>()
+    }
+}
+
+/// Consumes a boxed message, recovering its concrete type.
+///
+/// Returns the original box on type mismatch so the caller can try another
+/// type, mirroring `Box<dyn Any>::downcast`.
+pub fn downcast_msg<T: Msg>(msg: Box<dyn Msg>) -> Result<Box<T>, Box<dyn Msg>> {
+    if msg.as_any().is::<T>() {
+        Ok(msg
+            .into_any()
+            .downcast::<T>()
+            .expect("type checked just above"))
+    } else {
+        Err(msg)
+    }
+}
+
+/// Implements [`Msg`] for a struct with a `meta: MsgMeta` field.
+#[macro_export]
+macro_rules! impl_msg {
+    ($ty:ty) => {
+        impl $crate::Msg for $ty {
+            fn meta(&self) -> &$crate::MsgMeta {
+                &self.meta
+            }
+            fn meta_mut(&mut self) -> &mut $crate::MsgMeta {
+                &mut self.meta
+            }
+            fn as_any(&self) -> &dyn ::std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+                self
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn ::std::any::Any> {
+                self
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Ping {
+        meta: MsgMeta,
+        payload: u32,
+    }
+    impl_msg!(Ping);
+
+    #[derive(Debug)]
+    struct Pong {
+        meta: MsgMeta,
+    }
+    impl_msg!(Pong);
+
+    fn ping(payload: u32) -> Ping {
+        Ping {
+            meta: MsgMeta::new(PortId::fresh(), PortId::fresh(), 4),
+            payload,
+        }
+    }
+
+    #[test]
+    fn downcast_ref_succeeds_for_right_type() {
+        let m: Box<dyn Msg> = Box::new(ping(7));
+        assert_eq!(m.downcast_ref::<Ping>().unwrap().payload, 7);
+        assert!(m.downcast_ref::<Pong>().is_none());
+    }
+
+    #[test]
+    fn downcast_box_returns_original_on_mismatch() {
+        let m: Box<dyn Msg> = Box::new(ping(1));
+        let m = downcast_msg::<Pong>(m).unwrap_err();
+        let p = downcast_msg::<Ping>(m).unwrap();
+        assert_eq!(p.payload, 1);
+    }
+
+    #[test]
+    fn meta_is_mutable() {
+        let mut m = ping(0);
+        m.meta_mut().send_time = VTime::from_ns(5);
+        assert_eq!(m.meta().send_time, VTime::from_ns(5));
+    }
+
+    #[test]
+    fn label_defaults_to_type_name() {
+        let m: Box<dyn Msg> = Box::new(ping(0));
+        assert!(m.label().ends_with("Ping"));
+    }
+}

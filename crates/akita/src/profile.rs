@@ -1,0 +1,330 @@
+//! Intrusive scope profiler — the reproduction's stand-in for Go's `pprof`.
+//!
+//! AkitaRTM profiles the *simulator itself* (not the simulated hardware,
+//! paper task T4) with `pprof` and visualizes the top-N functions by self
+//! and total time plus their call arcs (paper §IV-C, Fig 2 E). Safe Rust has
+//! no portable stack-sampling profiler, so we instrument instead: the engine
+//! wraps every event dispatch in a [`scope`], and hot component code adds
+//! nested scopes. Aggregation happens in thread-local storage; when
+//! profiling is disabled (the default) a scope costs one relaxed atomic
+//! load, keeping the paper's "no work unless requested" property.
+//!
+//! # Examples
+//!
+//! ```
+//! use akita::profile;
+//!
+//! profile::reset();
+//! profile::set_enabled(true);
+//! {
+//!     let _outer = profile::scope("Cache::tick");
+//!     let _inner = profile::scope("Cache::lookup");
+//! }
+//! profile::set_enabled(false);
+//! let report = profile::snapshot();
+//! assert_eq!(report.nodes.len(), 2);
+//! assert_eq!(report.edges[0].from, "Cache::tick");
+//! assert_eq!(report.edges[0].to, "Cache::lookup");
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::default());
+}
+
+#[derive(Default)]
+struct Collector {
+    stack: Vec<Frame>,
+    nodes: HashMap<&'static str, NodeStat>,
+    edges: HashMap<(&'static str, &'static str), EdgeStat>,
+}
+
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    child_ns: u64,
+}
+
+#[derive(Default, Clone, Copy)]
+struct NodeStat {
+    self_ns: u64,
+    total_ns: u64,
+    count: u64,
+}
+
+#[derive(Default, Clone, Copy)]
+struct EdgeStat {
+    total_ns: u64,
+    count: u64,
+}
+
+/// Turns profiling collection on or off globally.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether profiling collection is currently on.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all data collected on this thread.
+pub fn reset() {
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        c.stack.clear();
+        c.nodes.clear();
+        c.edges.clear();
+    });
+}
+
+/// Opens a profiling scope named `name`.
+///
+/// Returns `None` (at the cost of one atomic load) when profiling is off.
+/// While the returned guard lives, time is attributed to `name`; nested
+/// scopes subtract their time from this scope's *self* time and record a
+/// caller→callee edge.
+#[must_use]
+pub fn scope(name: &'static str) -> Option<ScopeGuard> {
+    if !is_enabled() {
+        return None;
+    }
+    COLLECTOR.with(|c| {
+        c.borrow_mut().stack.push(Frame {
+            name,
+            start: Instant::now(),
+            child_ns: 0,
+        });
+    });
+    Some(ScopeGuard { name })
+}
+
+/// RAII guard closing a profiling scope on drop.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    name: &'static str,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        COLLECTOR.with(|c| {
+            let mut c = c.borrow_mut();
+            let frame = match c.stack.pop() {
+                Some(f) if f.name == self.name => f,
+                // A reset() while scopes were open: drop silently.
+                Some(f) => {
+                    c.stack.push(f);
+                    return;
+                }
+                None => return,
+            };
+            let total_ns = frame.start.elapsed().as_nanos() as u64;
+            let self_ns = total_ns.saturating_sub(frame.child_ns);
+            let node = c.nodes.entry(frame.name).or_default();
+            node.self_ns += self_ns;
+            node.total_ns += total_ns;
+            node.count += 1;
+            if let Some(parent) = c.stack.last_mut() {
+                parent.child_ns += total_ns;
+                let parent_name = parent.name;
+                let edge = c.edges.entry((parent_name, frame.name)).or_default();
+                edge.total_ns += total_ns;
+                edge.count += 1;
+            }
+        });
+    }
+}
+
+/// One profiled scope in a [`ProfileReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileNode {
+    /// Scope name, e.g. `"L1VCache"` or `"Cache::lookup"`.
+    pub name: String,
+    /// Time spent in this scope excluding child scopes, in nanoseconds.
+    pub self_ns: u64,
+    /// Time spent in this scope including child scopes, in nanoseconds.
+    pub total_ns: u64,
+    /// Number of times the scope ran.
+    pub count: u64,
+}
+
+/// One caller→callee edge in a [`ProfileReport`], drawn as an arc in the
+/// profiling view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileEdge {
+    /// Caller scope.
+    pub from: String,
+    /// Callee scope.
+    pub to: String,
+    /// Total callee time attributed to this edge, in nanoseconds.
+    pub total_ns: u64,
+    /// Number of calls along this edge.
+    pub count: u64,
+}
+
+/// Aggregated profiling data for the simulator process.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Whether collection was enabled at snapshot time.
+    pub enabled: bool,
+    /// Scopes sorted by self time, descending.
+    pub nodes: Vec<ProfileNode>,
+    /// Caller→callee edges sorted by total time, descending.
+    pub edges: Vec<ProfileEdge>,
+}
+
+impl ProfileReport {
+    /// Keeps only the `n` hottest scopes (by self time) and the edges
+    /// between them — the "top-N functions" the paper sends to the webpage.
+    pub fn top_n(mut self, n: usize) -> ProfileReport {
+        self.nodes.truncate(n);
+        let keep: std::collections::HashSet<&str> =
+            self.nodes.iter().map(|node| node.name.as_str()).collect();
+        self.edges
+            .retain(|e| keep.contains(e.from.as_str()) && keep.contains(e.to.as_str()));
+        self
+    }
+}
+
+/// Snapshots data collected on this thread.
+///
+/// Must run on the thread that executed the scopes — in practice the
+/// simulation thread, via a [`SimQuery::Profile`](crate::SimQuery) request.
+pub fn snapshot() -> ProfileReport {
+    COLLECTOR.with(|c| {
+        let c = c.borrow();
+        let mut nodes: Vec<ProfileNode> = c
+            .nodes
+            .iter()
+            .map(|(name, s)| ProfileNode {
+                name: (*name).to_owned(),
+                self_ns: s.self_ns,
+                total_ns: s.total_ns,
+                count: s.count,
+            })
+            .collect();
+        nodes.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+        let mut edges: Vec<ProfileEdge> = c
+            .edges
+            .iter()
+            .map(|((from, to), s)| ProfileEdge {
+                from: (*from).to_owned(),
+                to: (*to).to_owned(),
+                total_ns: s.total_ns,
+                count: s.count,
+            })
+            .collect();
+        edges.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.from.cmp(&b.from)));
+        ProfileReport {
+            enabled: is_enabled(),
+            nodes,
+            edges,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that toggle the global ENABLED flag.
+    pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_clean_profiler(f: impl FnOnce()) {
+        reset();
+        set_enabled(true);
+        f();
+        set_enabled(false);
+        // Leave data for the caller to inspect via snapshot(); reset happens
+        // at the start of each test.
+    }
+
+    #[test]
+    fn disabled_scope_is_none() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        assert!(scope("x").is_none());
+    }
+
+    #[test]
+    fn nested_scopes_split_self_and_total() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        with_clean_profiler(|| {
+            let _a = scope("a");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _b = scope("b");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+        let r = snapshot();
+        let a = r.nodes.iter().find(|n| n.name == "a").unwrap();
+        let b = r.nodes.iter().find(|n| n.name == "b").unwrap();
+        assert!(a.total_ns >= a.self_ns, "total includes self");
+        assert!(a.total_ns >= b.total_ns, "parent total covers child");
+        assert!(a.self_ns >= 1_000_000, "parent has real self time");
+        assert_eq!(a.count, 1);
+        assert_eq!(b.count, 1);
+    }
+
+    #[test]
+    fn edges_record_caller_callee() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        with_clean_profiler(|| {
+            for _ in 0..3 {
+                let _p = scope("parent");
+                let _c = scope("child");
+            }
+        });
+        let r = snapshot();
+        let e = &r.edges[0];
+        assert_eq!((e.from.as_str(), e.to.as_str()), ("parent", "child"));
+        assert_eq!(e.count, 3);
+    }
+
+    #[test]
+    fn top_n_keeps_hottest_and_prunes_edges() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        with_clean_profiler(|| {
+            let _a = scope("hot");
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            {
+                let _b = scope("cold");
+            }
+        });
+        let r = snapshot().top_n(1);
+        assert_eq!(r.nodes.len(), 1);
+        assert_eq!(r.nodes[0].name, "hot");
+        assert!(r.edges.is_empty(), "edge to pruned node removed");
+    }
+
+    #[test]
+    fn reset_clears_data() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        with_clean_profiler(|| {
+            let _a = scope("x");
+        });
+        reset();
+        assert!(snapshot().nodes.is_empty());
+    }
+
+    #[test]
+    fn report_serializes() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        with_clean_profiler(|| {
+            let _a = scope("s");
+        });
+        let r = snapshot();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ProfileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.nodes.len(), r.nodes.len());
+    }
+}

@@ -1,0 +1,199 @@
+//! Progress bars: the paper's `{Create | Update | Destroy}ProgressBar` API.
+//!
+//! Each bar has three segments — finished (green), in progress (blue), and
+//! not started (gray) — supporting task T1, "predicting how long a
+//! simulation will take". The registry is `Send + Sync`: the simulation
+//! thread updates it (kernel dispatch, memcpy) and the monitor thread reads
+//! it lock-free of the engine.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Identity of one progress bar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ProgressBarId(u64);
+
+/// A point-in-time view of one bar.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgressSnapshot {
+    /// Bar identity.
+    pub id: ProgressBarId,
+    /// Label shown left of the bar.
+    pub name: String,
+    /// Total task count.
+    pub total: u64,
+    /// Tasks completed (green segment).
+    pub finished: u64,
+    /// Tasks currently executing (blue segment).
+    pub in_progress: u64,
+}
+
+impl ProgressSnapshot {
+    /// Tasks not yet started (gray segment).
+    pub fn not_started(&self) -> u64 {
+        self.total.saturating_sub(self.finished + self.in_progress)
+    }
+
+    /// Completion ratio in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.finished as f64 / self.total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    next_id: u64,
+    bars: Vec<ProgressSnapshot>,
+}
+
+/// A shared registry of progress bars.
+///
+/// # Examples
+///
+/// ```
+/// use akita::ProgressRegistry;
+///
+/// let reg = ProgressRegistry::new();
+/// let bar = reg.create_bar("kernel blocks", 640);
+/// reg.update(bar, 12, 4);
+/// let snap = &reg.snapshot()[0];
+/// assert_eq!(snap.finished, 12);
+/// assert_eq!(snap.not_started(), 624);
+/// reg.destroy(bar);
+/// assert!(reg.snapshot().is_empty());
+/// ```
+#[derive(Clone, Default)]
+pub struct ProgressRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl ProgressRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bar tracking `total` tasks.
+    pub fn create_bar(&self, name: impl Into<String>, total: u64) -> ProgressBarId {
+        let mut inner = self.inner.lock();
+        inner.next_id += 1;
+        let id = ProgressBarId(inner.next_id);
+        inner.bars.push(ProgressSnapshot {
+            id,
+            name: name.into(),
+            total,
+            finished: 0,
+            in_progress: 0,
+        });
+        id
+    }
+
+    /// Sets a bar's finished and in-progress counts. Unknown ids are
+    /// ignored (the bar may have been destroyed concurrently).
+    pub fn update(&self, id: ProgressBarId, finished: u64, in_progress: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(bar) = inner.bars.iter_mut().find(|b| b.id == id) {
+            bar.finished = finished;
+            bar.in_progress = in_progress;
+        }
+    }
+
+    /// Grows a bar's total (for workloads that discover tasks on the fly).
+    pub fn add_total(&self, id: ProgressBarId, additional: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(bar) = inner.bars.iter_mut().find(|b| b.id == id) {
+            bar.total += additional;
+        }
+    }
+
+    /// Removes a bar.
+    pub fn destroy(&self, id: ProgressBarId) {
+        self.inner.lock().bars.retain(|b| b.id != id);
+    }
+
+    /// All live bars, in creation order.
+    pub fn snapshot(&self) -> Vec<ProgressSnapshot> {
+        self.inner.lock().bars.clone()
+    }
+
+    /// Number of live bars.
+    pub fn len(&self) -> usize {
+        self.inner.lock().bars.len()
+    }
+
+    /// Whether no bars exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for ProgressRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProgressRegistry({} bars)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_update_destroy_cycle() {
+        let reg = ProgressRegistry::new();
+        let a = reg.create_bar("a", 10);
+        let b = reg.create_bar("b", 20);
+        reg.update(a, 3, 2);
+        let snaps = reg.snapshot();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].finished, 3);
+        assert_eq!(snaps[0].in_progress, 2);
+        assert_eq!(snaps[0].not_started(), 5);
+        assert!((snaps[0].fraction() - 0.3).abs() < 1e-12);
+        reg.destroy(a);
+        assert_eq!(reg.snapshot()[0].id, b);
+    }
+
+    #[test]
+    fn update_after_destroy_is_ignored() {
+        let reg = ProgressRegistry::new();
+        let a = reg.create_bar("a", 10);
+        reg.destroy(a);
+        reg.update(a, 5, 0); // must not panic
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn add_total_grows_the_gray_segment() {
+        let reg = ProgressRegistry::new();
+        let a = reg.create_bar("a", 10);
+        reg.add_total(a, 5);
+        assert_eq!(reg.snapshot()[0].total, 15);
+    }
+
+    #[test]
+    fn zero_total_fraction_is_zero() {
+        let reg = ProgressRegistry::new();
+        let a = reg.create_bar("empty", 0);
+        assert_eq!(reg.snapshot()[0].fraction(), 0.0);
+        let _ = a;
+    }
+
+    #[test]
+    fn registry_is_send_sync_and_shared() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProgressRegistry>();
+        let reg = ProgressRegistry::new();
+        let clone = reg.clone();
+        let bar = reg.create_bar("x", 1);
+        clone.update(bar, 1, 0);
+        assert_eq!(reg.snapshot()[0].finished, 1);
+    }
+}

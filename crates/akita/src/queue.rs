@@ -1,0 +1,188 @@
+//! The engine's event queue.
+//!
+//! A stable priority queue: events pop in time order, and events scheduled
+//! for the same time pop in the order they were scheduled (FIFO tie-break by
+//! sequence number). Stability keeps simulations deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::ComponentId;
+use crate::time::VTime;
+
+/// What a scheduled event asks a component to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Run one tick of the component's state machine.
+    Tick,
+    /// Deliver a component-defined event code to
+    /// [`Component::handle_custom`](crate::Component::handle_custom).
+    Custom(u64),
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ev {
+    /// When the event fires.
+    pub time: VTime,
+    /// FIFO tie-breaker among same-time events.
+    pub seq: u64,
+    /// The component the event is addressed to.
+    pub component: ComponentId,
+    /// What to do.
+    pub kind: EventKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A stable min-priority queue of [`Ev`]s.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Ev>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules an event for `component` at `time`.
+    pub fn push(&mut self, time: VTime, component: ComponentId, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Ev {
+            time,
+            seq,
+            component,
+            kind,
+        }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Ev> {
+        self.heap.pop().map(|Reverse(ev)| ev)
+    }
+
+    /// The time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<VTime> {
+        self.heap.peek().map(|Reverse(ev)| ev.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(i: usize) -> ComponentId {
+        ComponentId::from_index(i)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(VTime::from_ns(3), cid(0), EventKind::Tick);
+        q.push(VTime::from_ns(1), cid(1), EventKind::Tick);
+        q.push(VTime::from_ns(2), cid(2), EventKind::Tick);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.ps())
+            .collect();
+        assert_eq!(order, [1_000, 2_000, 3_000]);
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = VTime::from_ns(1);
+        for i in 0..10 {
+            q.push(t, cid(i), EventKind::Tick);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.component.index())
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_is_min() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(VTime::from_ns(5), cid(0), EventKind::Tick);
+        q.push(VTime::from_ns(2), cid(0), EventKind::Custom(7));
+        assert_eq!(q.peek_time(), Some(VTime::from_ns(2)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn custom_events_carry_codes() {
+        let mut q = EventQueue::new();
+        q.push(VTime::ZERO, cid(0), EventKind::Custom(42));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Custom(42));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Events always pop sorted by (time, insertion order).
+        #[test]
+        fn queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..100, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(VTime::from_ps(t), ComponentId::from_index(i), EventKind::Tick);
+            }
+            let mut expected: Vec<(u64, usize)> =
+                times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+            expected.sort();
+            let got: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop())
+                .map(|e| (e.time.ps(), e.component.index()))
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Interleaved pushes and pops never yield an event earlier than one
+        /// already popped.
+        #[test]
+        fn pop_is_monotonic_when_pushing_future_events(
+            ops in prop::collection::vec((0u64..1000, prop::bool::ANY), 1..200)
+        ) {
+            let mut q = EventQueue::new();
+            let mut last = 0u64;
+            for (dt, do_pop) in ops {
+                q.push(VTime::from_ps(last + dt), ComponentId::from_index(0), EventKind::Tick);
+                if do_pop {
+                    if let Some(ev) = q.pop() {
+                        prop_assert!(ev.time.ps() >= last);
+                        last = ev.time.ps();
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Inspectable component state.
+//!
+//! AkitaRTM's `RegisterComponent` uses Go reflection to discover the fields of
+//! a component so that no per-component view has to be designed (paper §IV-B).
+//! Rust has no runtime reflection, so components describe themselves instead:
+//! [`Component::state`](crate::Component::state) returns a [`ComponentState`],
+//! a flat list of named, typed [`Value`]s built with a tiny fluent API. The
+//! monitoring frontend renders it generically, preserving the paper's
+//! "adding a new component does not require designing a new view" property.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::VTime;
+
+/// A snapshot of one component's observable fields.
+///
+/// # Examples
+///
+/// ```
+/// use akita::{ComponentState, Value};
+///
+/// let s = ComponentState::new()
+///     .field("in_flight", 12u64)
+///     .field("stalled", true)
+///     .field("name", "L1VCache");
+/// assert_eq!(s.get("in_flight"), Some(&Value::UInt(12)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ComponentState {
+    /// Observable fields, in declaration order.
+    pub fields: Vec<Field>,
+}
+
+/// One named field in a [`ComponentState`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name as shown in the monitoring view.
+    pub name: String,
+    /// Human-readable type, e.g. `"u64"` or `"container"`.
+    pub type_name: String,
+    /// Current value.
+    pub value: Value,
+}
+
+/// A dynamically typed field value.
+///
+/// Containers are represented by their length (paper §IV-C: "for containers
+/// such as lists and dictionaries, the plot shows the container sizes").
+/// The full element list can still be exposed with [`Value::List`] or
+/// [`Value::Map`] when small enough to be useful.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", content = "v")]
+pub enum Value {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short string.
+    Str(String),
+    /// Virtual time.
+    Time(VTime),
+    /// A container summarized by element count and optional capacity.
+    Size {
+        /// Number of elements currently held.
+        len: u64,
+        /// Capacity, when bounded.
+        cap: Option<u64>,
+    },
+    /// A small list of values.
+    List(Vec<Value>),
+    /// A small string-keyed map of values.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The numeric magnitude of this value, used by time-series plots.
+    ///
+    /// Containers map to their length, booleans to 0/1, strings to `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::UInt(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(v) => Some(if *v { 1.0 } else { 0.0 }),
+            Value::Time(t) => Some(t.as_sec()),
+            Value::Size { len, .. } => Some(*len as f64),
+            Value::List(items) => Some(items.len() as f64),
+            Value::Map(entries) => Some(entries.len() as f64),
+            Value::Str(_) => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "i64",
+            Value::UInt(_) => "u64",
+            Value::Float(_) => "f64",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "string",
+            Value::Time(_) => "time",
+            Value::Size { .. } => "container",
+            Value::List(_) => "list",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Types convertible into a [`Value`] for use with
+/// [`ComponentState::field`].
+pub trait IntoValue {
+    /// Performs the conversion.
+    fn into_value(self) -> Value;
+}
+
+macro_rules! impl_into_value {
+    ($($ty:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl IntoValue for $ty {
+            fn into_value(self) -> Value {
+                Value::$variant(self as $conv)
+            }
+        })*
+    };
+}
+
+impl_into_value! {
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64, i64 => Int as i64,
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64, u64 => UInt as u64,
+    usize => UInt as u64,
+    f32 => Float as f64, f64 => Float as f64,
+}
+
+impl IntoValue for bool {
+    fn into_value(self) -> Value {
+        Value::Bool(self)
+    }
+}
+
+impl IntoValue for &str {
+    fn into_value(self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl IntoValue for String {
+    fn into_value(self) -> Value {
+        Value::Str(self)
+    }
+}
+
+impl IntoValue for VTime {
+    fn into_value(self) -> Value {
+        Value::Time(self)
+    }
+}
+
+impl IntoValue for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+}
+
+impl ComponentState {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        ComponentState::default()
+    }
+
+    /// Appends a field, returning `self` for chaining.
+    pub fn field(mut self, name: impl Into<String>, value: impl IntoValue) -> Self {
+        let value = value.into_value();
+        self.fields.push(Field {
+            name: name.into(),
+            type_name: value.type_name().to_owned(),
+            value,
+        });
+        self
+    }
+
+    /// Appends a container field summarized by `len` out of `cap`.
+    pub fn container(mut self, name: impl Into<String>, len: usize, cap: Option<usize>) -> Self {
+        let value = Value::Size {
+            len: len as u64,
+            cap: cap.map(|c| c as u64),
+        };
+        self.fields.push(Field {
+            name: name.into(),
+            type_name: value.type_name().to_owned(),
+            value,
+        });
+        self
+    }
+
+    /// Looks up a field's value by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|f| f.name == name).map(|f| &f.value)
+    }
+
+    /// The numeric magnitude of a field, if it has one.
+    ///
+    /// This is what the value-monitoring time series samples.
+    pub fn numeric(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(Value::as_f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_preserves_order_and_types() {
+        let s = ComponentState::new()
+            .field("a", 1i32)
+            .field("b", 2.5f64)
+            .field("c", "x")
+            .container("q", 3, Some(8));
+        let names: Vec<_> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c", "q"]);
+        assert_eq!(s.fields[0].type_name, "i64");
+        assert_eq!(s.fields[3].type_name, "container");
+    }
+
+    #[test]
+    fn numeric_projects_containers_to_len() {
+        let s = ComponentState::new()
+            .container("q", 5, Some(8))
+            .field("name", "rob");
+        assert_eq!(s.numeric("q"), Some(5.0));
+        assert_eq!(s.numeric("name"), None);
+        assert_eq!(s.numeric("missing"), None);
+    }
+
+    #[test]
+    fn value_as_f64_covers_all_numeric_variants() {
+        assert_eq!(Value::Int(-3).as_f64(), Some(-3.0));
+        assert_eq!(Value::UInt(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Time(VTime::from_sec(2.0)).as_f64(), Some(2.0));
+        assert_eq!(Value::List(vec![Value::Int(1)]).as_f64(), Some(1.0));
+        assert_eq!(
+            Value::Map(vec![("k".into(), Value::Int(1))]).as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(Value::Str("s".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn serializes_to_tagged_json() {
+        let s = ComponentState::new().field("x", 4u64);
+        let json = serde_json::to_value(&s).unwrap();
+        assert_eq!(json["fields"][0]["value"]["kind"], "UInt");
+        assert_eq!(json["fields"][0]["value"]["v"], 4);
+        let back: ComponentState = serde_json::from_value(json).unwrap();
+        assert_eq!(back, s);
+    }
+}

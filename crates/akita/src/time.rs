@@ -1,0 +1,317 @@
+//! Virtual time and frequency types.
+//!
+//! Akita (the Go framework this crate reproduces) models virtual time as
+//! `float64` seconds. We deviate deliberately: virtual time here is an
+//! integer number of **picoseconds** wrapped in [`VTime`]. Integer time is
+//! totally ordered, hashable, and free of floating-point drift over the
+//! billions of cycles a long simulation accumulates, which keeps the event
+//! queue deterministic. One gigahertz — the default core clock — is exactly
+//! 1000 ps per cycle.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of picoseconds in one second.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// A point in virtual (simulated) time, in picoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use akita::VTime;
+///
+/// let t = VTime::from_ns(2) + VTime::from_ps(500);
+/// assert_eq!(t.ps(), 2_500);
+/// assert!(t < VTime::from_us(1));
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct VTime(u64);
+
+impl VTime {
+    /// The start of simulation.
+    pub const ZERO: VTime = VTime(0);
+
+    /// The largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: VTime = VTime(u64::MAX);
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        VTime(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        VTime(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        VTime(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        VTime(ms * 1_000_000_000)
+    }
+
+    /// Creates a time from (possibly fractional) seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sec` is negative, NaN, or too large to represent.
+    pub fn from_sec(sec: f64) -> Self {
+        assert!(
+            sec.is_finite() && sec >= 0.0,
+            "virtual time must be finite and non-negative, got {sec}"
+        );
+        let ps = sec * PS_PER_SEC as f64;
+        assert!(ps <= u64::MAX as f64, "virtual time overflow: {sec} s");
+        VTime(ps.round() as u64)
+    }
+
+    /// This time as picoseconds.
+    pub const fn ps(self) -> u64 {
+        self.0
+    }
+
+    /// This time as fractional seconds (lossy for very large values).
+    pub fn as_sec(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: VTime) -> VTime {
+        VTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked subtraction; `None` when `rhs` is later than `self`.
+    pub const fn checked_sub(self, rhs: VTime) -> Option<VTime> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(VTime(v)),
+            None => None,
+        }
+    }
+}
+
+impl Add for VTime {
+    type Output = VTime;
+
+    fn add(self, rhs: VTime) -> VTime {
+        VTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("virtual time overflow in addition"),
+        )
+    }
+}
+
+impl AddAssign for VTime {
+    fn add_assign(&mut self, rhs: VTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for VTime {
+    type Output = VTime;
+
+    fn sub(self, rhs: VTime) -> VTime {
+        VTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("virtual time underflow in subtraction"),
+        )
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps % 1_000_000_000_000 == 0 {
+            write!(f, "{}s", ps / 1_000_000_000_000)
+        } else if ps % 1_000_000_000 == 0 {
+            write!(f, "{}ms", ps / 1_000_000_000)
+        } else if ps % 1_000_000 == 0 {
+            write!(f, "{}us", ps / 1_000_000)
+        } else if ps % 1_000 == 0 {
+            write!(f, "{}ns", ps / 1_000)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+/// A clock frequency in hertz.
+///
+/// # Examples
+///
+/// ```
+/// use akita::{Freq, VTime};
+///
+/// let f = Freq::ghz(1);
+/// assert_eq!(f.period(), VTime::from_ps(1_000));
+/// assert_eq!(f.cycle_after(VTime::from_ps(1)), VTime::from_ps(1_000));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Freq(u64);
+
+impl Freq {
+    /// Creates a frequency from hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hz` is zero or exceeds 1 THz (a period below 1 ps cannot
+    /// be represented).
+    pub fn hz(hz: u64) -> Self {
+        assert!(hz > 0, "frequency must be positive");
+        assert!(hz <= PS_PER_SEC, "frequency above 1 THz is unrepresentable");
+        Freq(hz)
+    }
+
+    /// Creates a frequency from megahertz.
+    pub fn mhz(mhz: u64) -> Self {
+        Freq::hz(mhz * 1_000_000)
+    }
+
+    /// Creates a frequency from gigahertz.
+    pub fn ghz(ghz: u64) -> Self {
+        Freq::hz(ghz * 1_000_000_000)
+    }
+
+    /// The frequency in hertz.
+    pub const fn as_hz(self) -> u64 {
+        self.0
+    }
+
+    /// The period of one cycle, rounded to whole picoseconds.
+    pub fn period(self) -> VTime {
+        VTime::from_ps(PS_PER_SEC / self.0)
+    }
+
+    /// The duration of `n` cycles.
+    pub fn cycles(self, n: u64) -> VTime {
+        VTime::from_ps((PS_PER_SEC / self.0) * n)
+    }
+
+    /// The earliest cycle boundary strictly after `t`.
+    ///
+    /// Ticking components use this to align their next tick with the clock
+    /// edge, mirroring Akita's `Freq.NextTick`.
+    pub fn cycle_after(self, t: VTime) -> VTime {
+        let p = self.period().ps();
+        VTime::from_ps((t.ps() / p + 1) * p)
+    }
+
+    /// The cycle boundary at or after `t`.
+    pub fn cycle_at_or_after(self, t: VTime) -> VTime {
+        let p = self.period().ps();
+        VTime::from_ps(t.ps().div_ceil(p) * p)
+    }
+}
+
+impl Default for Freq {
+    fn default() -> Self {
+        Freq::ghz(1)
+    }
+}
+
+impl fmt::Display for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hz = self.0;
+        if hz % 1_000_000_000 == 0 {
+            write!(f, "{}GHz", hz / 1_000_000_000)
+        } else if hz % 1_000_000 == 0 {
+            write!(f, "{}MHz", hz / 1_000_000)
+        } else {
+            write!(f, "{hz}Hz")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_consistent() {
+        assert_eq!(VTime::from_ns(1), VTime::from_ps(1_000));
+        assert_eq!(VTime::from_us(1), VTime::from_ns(1_000));
+        assert_eq!(VTime::from_ms(1), VTime::from_us(1_000));
+        assert_eq!(VTime::from_sec(1.0), VTime::from_ms(1_000));
+    }
+
+    #[test]
+    fn from_sec_rounds() {
+        assert_eq!(VTime::from_sec(1e-12), VTime::from_ps(1));
+        assert_eq!(VTime::from_sec(0.5e-12).ps(), 1); // rounds half up
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_sec_rejects_negative() {
+        let _ = VTime::from_sec(-1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = VTime::from_ns(3);
+        let b = VTime::from_ns(1);
+        assert_eq!(a + b, VTime::from_ns(4));
+        assert_eq!(a - b, VTime::from_ns(2));
+        assert_eq!(a.checked_sub(VTime::from_us(1)), None);
+        assert_eq!(VTime::MAX.saturating_add(a), VTime::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = VTime::from_ns(1) - VTime::from_ns(2);
+    }
+
+    #[test]
+    fn display_picks_coarsest_unit() {
+        assert_eq!(VTime::ZERO.to_string(), "0s");
+        assert_eq!(VTime::from_ps(1_500).to_string(), "1500ps");
+        assert_eq!(VTime::from_ns(3).to_string(), "3ns");
+        assert_eq!(VTime::from_sec(2.0).to_string(), "2s");
+    }
+
+    #[test]
+    fn freq_period_and_cycles() {
+        assert_eq!(Freq::ghz(1).period(), VTime::from_ps(1_000));
+        assert_eq!(Freq::mhz(500).period(), VTime::from_ns(2));
+        assert_eq!(Freq::ghz(1).cycles(7), VTime::from_ns(7));
+    }
+
+    #[test]
+    fn cycle_alignment() {
+        let f = Freq::ghz(1);
+        assert_eq!(f.cycle_after(VTime::ZERO), VTime::from_ps(1_000));
+        assert_eq!(f.cycle_after(VTime::from_ps(999)), VTime::from_ps(1_000));
+        assert_eq!(f.cycle_after(VTime::from_ps(1_000)), VTime::from_ps(2_000));
+        assert_eq!(f.cycle_at_or_after(VTime::from_ps(1_000)), VTime::from_ps(1_000));
+        assert_eq!(f.cycle_at_or_after(VTime::from_ps(1_001)), VTime::from_ps(2_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_freq_panics() {
+        let _ = Freq::hz(0);
+    }
+
+    #[test]
+    fn freq_display() {
+        assert_eq!(Freq::ghz(2).to_string(), "2GHz");
+        assert_eq!(Freq::mhz(750).to_string(), "750MHz");
+    }
+}

@@ -1,0 +1,178 @@
+//! Focused tests for port/connection semantics: peeking, acceptance,
+//! wiring errors, and flow-control wake-ups.
+
+use std::rc::Rc;
+
+use akita::{
+    downcast_msg, impl_msg, CompBase, Component, Ctx, DirectConnection, MsgMeta, Port, PortId,
+    Simulation, VTime,
+};
+
+#[derive(Debug)]
+struct Ping {
+    meta: MsgMeta,
+    n: u64,
+}
+impl_msg!(Ping);
+
+/// Fires one burst of pings at a destination, then records what happens.
+struct Burst {
+    base: CompBase,
+    out: Port,
+    dst: PortId,
+    to_send: Vec<u64>,
+    rejected: u64,
+}
+
+impl Component for Burst {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+    fn tick(&mut self, ctx: &mut Ctx) -> bool {
+        let mut progress = false;
+        while let Some(n) = self.to_send.pop() {
+            let msg = Box::new(Ping {
+                meta: MsgMeta::new(self.out.id(), self.dst, 8),
+                n,
+            });
+            match self.out.send(ctx, msg) {
+                Ok(()) => progress = true,
+                Err(_) => {
+                    self.rejected += 1;
+                    self.to_send.push(n);
+                    break;
+                }
+            }
+        }
+        progress
+    }
+}
+
+/// A sink that drains its port only when `drain` is set.
+struct Sink {
+    base: CompBase,
+    inp: Port,
+    drain: bool,
+    got: Vec<u64>,
+}
+
+impl Component for Sink {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+    fn tick(&mut self, ctx: &mut Ctx) -> bool {
+        if !self.drain {
+            return false;
+        }
+        let mut progress = false;
+        while let Some(msg) = self.inp.retrieve(ctx) {
+            self.got.push(downcast_msg::<Ping>(msg).expect("ping").n);
+            progress = true;
+        }
+        progress
+    }
+}
+
+fn build(burst: Vec<u64>, sink_buf: usize, drain: bool) -> (Simulation, Rc<std::cell::RefCell<Burst>>, Rc<std::cell::RefCell<Sink>>) {
+    let mut sim = Simulation::new();
+    let sink = Sink {
+        base: CompBase::new("Sink", "S"),
+        inp: Port::new(&sim.buffer_registry(), "S.In", sink_buf),
+        drain,
+        got: Vec::new(),
+    };
+    let burst = Burst {
+        base: CompBase::new("Burst", "B"),
+        out: Port::new(&sim.buffer_registry(), "B.Out", 2),
+        dst: sink.inp.id(),
+        to_send: burst,
+        rejected: 0,
+    };
+    let (_, conn) = sim.register(DirectConnection::new("C", VTime::from_ns(1)).with_link_cap(2));
+    let sink_port = sink.inp.clone();
+    let (sink_id, sink) = sim.register(sink);
+    sim.connect(&conn, &sink_port, sink_id);
+    let burst_port = burst.out.clone();
+    let (burst_id, burst) = sim.register(burst);
+    sim.connect(&conn, &burst_port, burst_id);
+    sim.wake_at(burst_id, VTime::ZERO);
+    (sim, burst, sink)
+}
+
+#[test]
+fn sender_sees_backpressure_when_link_fills() {
+    // Link cap 2, sink never drains (buffer 2): at most 4 in flight; the
+    // other sends bounce.
+    let (mut sim, burst, sink) = build((0..10).collect(), 2, false);
+    sim.run();
+    assert!(burst.borrow().rejected > 0, "link cap must reject sends");
+    assert!(sink.borrow().got.is_empty());
+    // Undelivered messages are parked in the sink's port buffer, full.
+    assert_eq!(sink.borrow().inp.incoming_len(), 2);
+    assert!(!sink.borrow().inp.can_accept());
+}
+
+#[test]
+fn peek_observes_without_consuming() {
+    let (mut sim, _burst, sink) = build(vec![7], 2, false);
+    sim.run();
+    let s = sink.borrow();
+    let seen = s.inp.peek(|m| {
+        use akita::MsgExt;
+        m.downcast_ref::<Ping>().map(|p| p.n)
+    });
+    assert_eq!(seen, Some(Some(7)));
+    assert_eq!(s.inp.incoming_len(), 1, "peek must not consume");
+}
+
+#[test]
+fn draining_sink_receives_everything_despite_tiny_buffers() {
+    let (mut sim, burst, sink) = build((0..50).collect(), 1, true);
+    sim.run();
+    assert_eq!(sink.borrow().got.len(), 50);
+    assert_eq!(burst.borrow().to_send.len(), 0);
+}
+
+#[test]
+fn double_connection_attach_panics() {
+    let result = std::panic::catch_unwind(|| {
+        let mut sim = Simulation::new();
+        let sink = Sink {
+            base: CompBase::new("Sink", "S"),
+            inp: Port::new(&sim.buffer_registry(), "S.In", 1),
+            drain: false,
+            got: Vec::new(),
+        };
+        let port = sink.inp.clone();
+        let (id, _) = sim.register(sink);
+        let (_, c1) = sim.register(DirectConnection::new("C1", VTime::from_ns(1)));
+        let (_, c2) = sim.register(DirectConnection::new("C2", VTime::from_ns(1)));
+        sim.connect(&c1, &port, id);
+        sim.connect(&c2, &port, id); // must panic: one connection per port
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn send_without_connection_panics() {
+    let result = std::panic::catch_unwind(|| {
+        let mut sim = Simulation::new();
+        let burst = Burst {
+            base: CompBase::new("Burst", "B"),
+            out: Port::new(&sim.buffer_registry(), "B.Out", 1),
+            dst: Port::new(&sim.buffer_registry(), "S.In", 1).id(),
+            to_send: vec![1],
+            rejected: 0,
+        };
+        let (id, _) = sim.register(burst);
+        sim.wake_at(id, VTime::ZERO);
+        sim.run(); // tick() sends through an unattached port
+    });
+    assert!(result.is_err());
+}

@@ -1,0 +1,106 @@
+//! Criterion benches for the DES engine: raw event throughput, tick
+//! scheduling, and the ablation behind the paper's §VII claim that
+//! draining the monitor-query channel between events is effectively free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use akita::{CompBase, Component, Ctx, Simulation, VTime};
+
+/// A component that ticks for a fixed number of cycles doing trivial work.
+struct Spinner {
+    base: CompBase,
+    remaining: u64,
+    acc: u64,
+}
+
+impl Component for Spinner {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+    fn tick(&mut self, _ctx: &mut Ctx) -> bool {
+        self.acc = self.acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.remaining -= 1;
+        self.remaining > 0
+    }
+}
+
+fn build_spinners(n_components: usize, ticks_each: u64) -> Simulation {
+    let mut sim = Simulation::new();
+    for i in 0..n_components {
+        let (id, _) = sim.register(Spinner {
+            base: CompBase::new("Spinner", format!("S{i}")),
+            remaining: ticks_each,
+            acc: i as u64,
+        });
+        sim.wake_at(id, VTime::ZERO);
+    }
+    sim
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/event_throughput");
+    for &n in &[1usize, 16, 256] {
+        group.bench_with_input(BenchmarkId::new("components", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = build_spinners(n, 10_000 / n as u64);
+                sim.run()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The §VII ablation: how much does polling the monitor-query channel every
+/// event cost versus polling rarely? The paper's design drains on-demand
+/// work every event; this shows why that is affordable.
+fn bench_query_poll_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/query_poll_interval");
+    for &interval in &[1u64, 64, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("every_n_events", interval),
+            &interval,
+            |b, &interval| {
+                b.iter(|| {
+                    let mut sim = build_spinners(16, 1_000);
+                    sim.set_query_poll_interval(interval);
+                    sim.run()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Cost of the monitor answering a status query while the engine runs:
+/// measures the end-to-end request round-trip against a busy engine.
+fn bench_status_query_latency(c: &mut Criterion) {
+    c.bench_function("engine/status_query_round_trip", |b| {
+        // The simulation is !Send: build it on its own thread and hand the
+        // (Send) query client back.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            let mut sim = build_spinners(4, u64::MAX / 2);
+            tx.send(sim.client()).expect("hand client back");
+            sim.run();
+        });
+        let client = rx.recv().expect("client");
+        // Wait for the engine to start.
+        while client.events_handled() == 0 {
+            std::hint::spin_loop();
+        }
+        b.iter(|| client.status().expect("status"));
+        client.request_stop();
+        let _ = handle.join();
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_throughput,
+    bench_query_poll_interval,
+    bench_status_query_latency
+);
+criterion_main!(benches);

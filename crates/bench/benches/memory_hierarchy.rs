@@ -1,0 +1,103 @@
+//! Criterion benches for the memory hierarchy: hit/miss paths through the
+//! ROB → AT → L1 → L2 → DRAM chain, and whole-GPU kernel throughput.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use akita_gpu::kernel::{Inst, WavefrontProgram};
+use akita_gpu::{GpuConfig, Platform, PlatformConfig, UniformKernel};
+
+/// Host time to simulate a read-heavy kernel with the given locality:
+/// `lines` distinct cache lines shared by all wavefronts (small = cache
+/// hits, large = misses to DRAM).
+fn run_reads(lines: u64) -> akita::RunSummary {
+    let mut p = Platform::build(PlatformConfig {
+        gpu: GpuConfig::scaled(4),
+        ..PlatformConfig::default()
+    });
+    let insts: Vec<Inst> = (0..64).map(|i| Inst::Load((i % lines) * 64, 4)).collect();
+    let kernel = Rc::new(UniformKernel::new(
+        "reads",
+        32,
+        2,
+        WavefrontProgram::new(insts),
+    ));
+    p.driver.borrow_mut().enqueue_kernel(kernel);
+    p.start();
+    let summary = p.sim.run();
+    assert!(p.driver.borrow().finished());
+    summary
+}
+
+fn bench_cache_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem/kernel_reads");
+    group.sample_size(20);
+    // 8 lines: everything hits in L1 after warmup. 4096 lines: streams
+    // through L1 and L2 to DRAM.
+    for &lines in &[8u64, 256, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("distinct_lines", lines),
+            &lines,
+            |b, &lines| b.iter(|| run_reads(lines)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_platform_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem/platform_build");
+    group.sample_size(20);
+    group.bench_function("scaled_8cu_1chiplet", |b| {
+        b.iter(|| Platform::build(PlatformConfig::default()))
+    });
+    group.bench_function("scaled_8cu_4chiplets", |b| {
+        b.iter(|| {
+            Platform::build(PlatformConfig {
+                chiplets: 4,
+                ..PlatformConfig::default()
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_multi_chiplet_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem/chiplet_traffic");
+    group.sample_size(10);
+    for &chiplets in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("chiplets", chiplets),
+            &chiplets,
+            |b, &chiplets| {
+                b.iter(|| {
+                    let mut p = Platform::build(PlatformConfig {
+                        chiplets,
+                        gpu: GpuConfig::scaled(2),
+                        ..PlatformConfig::default()
+                    });
+                    let insts: Vec<Inst> =
+                        (0..32).map(|i| Inst::Load(i * 4096, 4)).collect();
+                    let kernel = Rc::new(UniformKernel::new(
+                        "strided",
+                        16,
+                        2,
+                        WavefrontProgram::new(insts),
+                    ));
+                    p.driver.borrow_mut().enqueue_kernel(kernel);
+                    p.start();
+                    p.sim.run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_locality,
+    bench_platform_build,
+    bench_multi_chiplet_traffic
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion benches isolating the monitoring overhead mechanisms behind
+//! Figure 7: an identical simulation with no monitor, with an idle
+//! monitor+server, and with an HTTP request load.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use akita_gpu::{GpuConfig, Platform, PlatformConfig};
+use akita_rtm::{Monitor, RtmServer};
+use akita_workloads::{Fir, Workload};
+
+fn fir() -> Fir {
+    Fir {
+        num_samples: 2 * 1024,
+        ..Fir::default()
+    }
+}
+
+fn build() -> Platform {
+    let mut p = Platform::build(PlatformConfig {
+        gpu: GpuConfig::scaled(4),
+        ..PlatformConfig::default()
+    });
+    fir().enqueue(&mut p.driver.borrow_mut());
+    p.start();
+    p
+}
+
+fn bench_no_monitor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor/fir_run");
+    group.sample_size(20);
+    // iter_custom: time only `sim.run()`, excluding platform construction
+    // and monitor/server setup+teardown — the comparison Figure 7 makes.
+    group.bench_function("no_monitor", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let mut p = build();
+                let t = std::time::Instant::now();
+                p.sim.run();
+                total += t.elapsed();
+            }
+            total
+        })
+    });
+    group.bench_function("monitor_idle", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let mut p = build();
+                let monitor = Arc::new(Monitor::attach(
+                    &p.sim,
+                    p.progress.clone(),
+                    Duration::from_millis(100),
+                ));
+                let server = RtmServer::start_local(monitor).expect("bind");
+                let t = std::time::Instant::now();
+                p.sim.run();
+                total += t.elapsed();
+                drop(server);
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+/// The per-request costs a browser imposes, measured against a *live*
+/// simulation (requests answered between events).
+fn bench_live_requests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor/live_request");
+    group.sample_size(30);
+    // One long-running simulation on a background thread.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let sim_thread = std::thread::spawn(move || {
+        let mut p = Platform::build(PlatformConfig {
+            gpu: GpuConfig::scaled(4),
+            ..PlatformConfig::default()
+        });
+        let big = Fir {
+            num_samples: 100_000_000,
+            ..Fir::default()
+        };
+        big.enqueue(&mut p.driver.borrow_mut());
+        p.start();
+        let monitor = Arc::new(Monitor::attach(
+            &p.sim,
+            p.progress.clone(),
+            Duration::from_millis(100),
+        ));
+        let server = RtmServer::start_local(monitor).expect("bind");
+        tx.send(server.addr()).expect("send addr");
+        let summary = p.sim.run_interactive();
+        drop(server);
+        summary
+    });
+    let addr = rx.recv().expect("addr");
+
+    group.bench_function("GET /api/now", |b| {
+        b.iter(|| akita_rtm::client::get(addr, "/api/now").expect("now"))
+    });
+    group.bench_function("GET /api/status", |b| {
+        b.iter(|| akita_rtm::client::get(addr, "/api/status").expect("status"))
+    });
+    group.bench_function("GET /api/component", |b| {
+        b.iter(|| {
+            akita_rtm::client::get(addr, "/api/component?name=Driver").expect("component")
+        })
+    });
+    group.bench_function("GET /api/buffers", |b| {
+        b.iter(|| akita_rtm::client::get(addr, "/api/buffers?sort=size&top=20").expect("buffers"))
+    });
+    group.finish();
+
+    let _ = akita_rtm::client::post(addr, "/api/terminate", None);
+    let _ = sim_thread.join();
+}
+
+criterion_group!(benches, bench_no_monitor, bench_live_requests);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for the monitoring data path: fine-grained component
+//! serialization (§VII design choice 2) and buffer-registry snapshots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use akita::{Buffer, BufferRegistry, ComponentState, Value};
+
+/// A realistic component snapshot: a dozen mixed-type fields.
+fn big_state() -> ComponentState {
+    ComponentState::new()
+        .container("transactions", 117, Some(128))
+        .container("mshr", 14, Some(16))
+        .container("write_buffer", 9, Some(16))
+        .field("hits", 1_234_567u64)
+        .field("misses", 89_012u64)
+        .field("evictions", 4_567u64)
+        .field("fills", 4_321u64)
+        .field("stalled", false)
+        .field("wedged", false)
+        .field("name", "GPU[1].SA[15].L1VROB[0]")
+        .field("now", akita::VTime::from_ms(123))
+        .field(
+            "recent",
+            Value::List((0..16).map(Value::Int).collect::<Vec<_>>()),
+        )
+}
+
+fn bench_component_state_to_json(c: &mut Criterion) {
+    let state = big_state();
+    c.bench_function("serialize/component_state_to_json", |b| {
+        b.iter(|| serde_json::to_string(&state).expect("serialize"))
+    });
+}
+
+fn bench_component_state_round_trip(c: &mut Criterion) {
+    let state = big_state();
+    let json = serde_json::to_string(&state).expect("serialize");
+    c.bench_function("serialize/component_state_from_json", |b| {
+        b.iter(|| serde_json::from_str::<ComponentState>(&json).expect("deserialize"))
+    });
+}
+
+/// The buffer analyzer snapshot: the paper takes "a snapshot of all the
+/// buffers in the simulation" on each analyzer refresh. A 4-chiplet
+/// R9-Nano-class machine has a few thousand buffers.
+fn bench_buffer_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialize/buffer_snapshot");
+    for &n in &[100usize, 1_000, 4_000] {
+        let registry = BufferRegistry::new();
+        let buffers: Vec<Buffer<u64>> = (0..n)
+            .map(|i| {
+                let b = Buffer::new(&registry, format!("GPU[0].SA[{}].Port[{}].Buf", i / 64, i), 8);
+                for v in 0..(i % 9) as u64 {
+                    b.push(v).expect("within cap");
+                }
+                b
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("buffers", n), &n, |b, _| {
+            b.iter(|| registry.snapshot())
+        });
+        drop(buffers);
+    }
+    group.finish();
+}
+
+fn bench_buffer_snapshot_to_json(c: &mut Criterion) {
+    let registry = BufferRegistry::new();
+    let _buffers: Vec<Buffer<u64>> = (0..1_000)
+        .map(|i| Buffer::new(&registry, format!("B{i}"), 8))
+        .collect();
+    let snap = registry.snapshot();
+    c.bench_function("serialize/buffer_table_to_json", |b| {
+        b.iter(|| serde_json::to_string(&snap).expect("serialize"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_component_state_to_json,
+    bench_component_state_round_trip,
+    bench_buffer_snapshot,
+    bench_buffer_snapshot_to_json
+);
+criterion_main!(benches);

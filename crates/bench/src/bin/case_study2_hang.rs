@@ -1,0 +1,152 @@
+//! Case Study 2: debugging a hanging simulation.
+//!
+//! The paper reintroduces a real MGPUSim bug (since fixed upstream): the
+//! L2's local storage and write buffer deadlock on a circular wait. This
+//! harness walks the paper's exact debugging procedure against the live
+//! HTTP API:
+//!   1. confirm the hang: progress bars stop, the time stops, CPU drops;
+//!   2. identify hanging components: the buffer analyzer shows buffers
+//!      that still hold content;
+//!   3. probe: Tick the suspect component and Kick Start the simulation —
+//!      the hang persists (it is a code bug, not a lost wakeup);
+//!   4. identify the cause: the L2's own state shows the wedged
+//!      write-buffer ↔ local-storage pair.
+
+use std::time::Duration;
+
+use akita_gpu::{GpuConfig, Platform, PlatformConfig};
+use akita_mem::L2Config;
+use akita_workloads::{Fir, Workload};
+use rtm_bench::textfig::print_table;
+use rtm_bench::MonitoredSim;
+
+fn main() {
+    println!("=== Case Study 2: debugging a hang with AkitaRTM ===\n");
+    let sim = MonitoredSim::launch(
+        || {
+            let mut gpu = GpuConfig::scaled(4);
+            gpu.l2 = L2Config {
+                size_bytes: 2048,
+                ways: 2,
+                write_buffer_cap: 1,
+                inject_writeback_deadlock: true,
+                ..L2Config::default()
+            };
+            let platform = Platform::build(PlatformConfig {
+                gpu,
+                ..PlatformConfig::default()
+            });
+            let fir = Fir {
+                num_samples: 64 * 1024,
+                ..Fir::default()
+            };
+            fir.enqueue(&mut platform.driver.borrow_mut());
+            platform
+        },
+        Duration::from_millis(20),
+    );
+    println!("simulation started; monitoring at {}\n", sim.url());
+
+    // Step 1: confirm the hang — the paper watches the progress bars stop
+    // moving, the simulation time stop changing, and CPU fall.
+    println!("[1] waiting for the symptoms: progress frozen, time frozen, engine idle…");
+    assert!(
+        sim.wait_for_state("Idle", Duration::from_secs(120)),
+        "the injected bug should quiesce the engine"
+    );
+    let t1 = sim.get("/api/now").unwrap().json().unwrap()["now_ps"].as_u64().unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let t2 = sim.get("/api/now").unwrap().json().unwrap()["now_ps"].as_u64().unwrap();
+    assert_eq!(t1, t2, "simulation time must be frozen");
+    let bars = sim.get("/api/progress").unwrap().json().unwrap();
+    let kernel = bars
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|b| b["name"].as_str().unwrap().contains("kernel"))
+        .expect("kernel bar")
+        .clone();
+    println!(
+        "    time frozen at {} ps; kernel stuck at {}/{} workgroups; state Idle.\n",
+        t1, kernel["finished"], kernel["total"]
+    );
+    assert!(kernel["finished"].as_u64().unwrap() < kernel["total"].as_u64().unwrap());
+
+    // Step 2: the bottleneck analyzer — "if there is any content in a
+    // buffer, we know the buffer owner cannot proceed".
+    println!("[2] buffer analyzer: buffers still holding content");
+    let rows = sim
+        .get("/api/buffers?sort=size&top=8")
+        .unwrap()
+        .json()
+        .unwrap();
+    let table: Vec<Vec<String>> = rows
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|b| b["size"].as_u64().unwrap() > 0)
+        .map(|b| {
+            vec![
+                b["name"].as_str().unwrap().to_owned(),
+                b["size"].to_string(),
+                b["capacity"].to_string(),
+            ]
+        })
+        .collect();
+    assert!(!table.is_empty(), "a hang leaves buffered work behind");
+    print_table(&["Buffer", "Size", "Cap"], &table);
+    println!();
+
+    // Step 3: the Tick button and Kick Start — recreate the hanging site
+    // without restarting (the paper: "programmers do not need to restart
+    // the simulation and can solve the problem within the current
+    // context").
+    println!("[3] probing: Tick the L2, then Kick Start everything…");
+    let tick = sim
+        .post("/api/tick?name=GPU%5B0%5D.L2%5B0%5D", None)
+        .unwrap();
+    assert!(tick.is_ok(), "tick failed: {}", tick.body);
+    let kick = sim.post("/api/kickstart", None).unwrap().json().unwrap();
+    println!("    woke {} components; waiting for quiescence…", kick["woken"]);
+    assert!(
+        sim.wait_for_state("Idle", Duration::from_secs(30)),
+        "a code bug cannot be ticked away: the sim must quiesce again"
+    );
+    println!("    still hung — this is a deadlock in the model, not a lost wakeup.\n");
+
+    // Step 4: inspect the suspect's fields — the component-details view.
+    println!("[4] component details for the L2 banks:");
+    let mut found_wedge = false;
+    for bank in 0..2 {
+        let state = sim
+            .get(&format!("/api/component?name=GPU%5B0%5D.L2%5B{bank}%5D"))
+            .unwrap()
+            .json()
+            .unwrap();
+        let fields = state["state"]["fields"].as_array().unwrap();
+        let get = |n: &str| {
+            fields
+                .iter()
+                .find(|f| f["name"] == n)
+                .map(|f| f["value"]["v"].clone())
+                .unwrap_or(serde_json::Value::Null)
+        };
+        let wedged = get("wedged") == serde_json::Value::Bool(true);
+        found_wedge |= wedged;
+        println!(
+            "    GPU[0].L2[{bank}]: write_buffer {} staging_busy {} wedged {}",
+            get("write_buffer"),
+            get("staging_evict_busy"),
+            wedged
+        );
+    }
+    assert!(found_wedge, "at least one L2 bank must report the wedge");
+    println!();
+    println!("REPRODUCED: the L2 local storage holds an eviction it cannot push into the");
+    println!("full write buffer, while the write buffer's head is fetched data the local");
+    println!("storage refuses — the circular wait of the paper's Case Study 2. The fix");
+    println!("(consume the fetched entry first, freeing the slot) ships as the default:");
+    println!("set `L2Config::inject_writeback_deadlock = false` and the same workload");
+    println!("completes (see the `fixed_l2_survives_the_deadlock_workload` test).");
+    sim.terminate();
+}

@@ -1,0 +1,94 @@
+//! Diagnostic: isolate where monitor-idle overhead comes from.
+//! Not part of the figure set; used to validate the Fig 7 methodology.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use akita_gpu::{GpuConfig, Platform, PlatformConfig};
+use akita_rtm::{Monitor, RtmServer};
+use akita_workloads::{KMeans, Workload};
+
+fn build() -> Platform {
+    let mut p = Platform::build(PlatformConfig {
+        gpu: GpuConfig::scaled(8),
+        ..PlatformConfig::default()
+    });
+    let w = KMeans {
+        points: 128 * 1024,
+        iterations: 4,
+        ..KMeans::default()
+    };
+    w.enqueue(&mut p.driver.borrow_mut());
+    p.start();
+    p
+}
+
+fn main() {
+    let variants: Vec<(&str, fn() -> f64)> = vec![
+        ("bare", || {
+            let mut p = build();
+            let t = Instant::now();
+            let summary = p.sim.run();
+            eprintln!(
+                "  bare: {} events, end {} (wall {:.3}s)",
+                summary.events,
+                summary.end_time,
+                t.elapsed().as_secs_f64()
+            );
+            t.elapsed().as_secs_f64()
+        }),
+        ("monitor-no-server", || {
+            let mut p = build();
+            let _monitor = Arc::new(Monitor::attach(
+                &p.sim,
+                p.progress.clone(),
+                Duration::from_millis(100),
+            ));
+            let t = Instant::now();
+            p.sim.run();
+            t.elapsed().as_secs_f64()
+        }),
+        ("monitor+server", || {
+            let mut p = build();
+            let monitor = Arc::new(Monitor::attach(
+                &p.sim,
+                p.progress.clone(),
+                Duration::from_millis(100),
+            ));
+            let server = RtmServer::start_local(monitor).expect("bind");
+            let t = Instant::now();
+            p.sim.run();
+            let e = t.elapsed().as_secs_f64();
+            drop(server);
+            e
+        }),
+        ("sampler-1ms", || {
+            let mut p = build();
+            let _monitor = Arc::new(Monitor::attach(
+                &p.sim,
+                p.progress.clone(),
+                Duration::from_millis(1),
+            ));
+            let t = Instant::now();
+            p.sim.run();
+            t.elapsed().as_secs_f64()
+        }),
+    ];
+    // Interleave 6 rounds.
+    let mut results = vec![Vec::new(); variants.len()];
+    for round in 0..6 {
+        for (i, (_, f)) in variants.iter().enumerate() {
+            results[i].push(f());
+        }
+        eprintln!("round {round} done");
+    }
+    for ((name, _), times) in variants.iter().zip(&results) {
+        let mut sorted = times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "{name:<18} median {:.3}s  all {:?}",
+            sorted[sorted.len() / 2],
+            times.iter().map(|t| (t * 1000.0) as u64).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Shared harness for the figure-regeneration binaries and criterion
+//! benches: monitored platform construction, the four Figure 7 scenarios,
+//! and small table/plot printers.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod textfig;
+
+pub use harness::{thread_cpu_time, timed_run, MonitoredSim, RunTimes, Scenario};

@@ -1,0 +1,81 @@
+//! Tests for the Figure 7 harness: all four scenarios run to completion
+//! and produce sane measurements.
+
+use std::time::Duration;
+
+use akita_gpu::{GpuConfig, PlatformConfig};
+use akita_workloads::Fir;
+use rtm_bench::{thread_cpu_time, timed_run, MonitoredSim, Scenario};
+
+fn small_fir() -> Fir {
+    Fir {
+        num_samples: 2 * 1024,
+        ..Fir::default()
+    }
+}
+
+#[test]
+fn all_four_scenarios_complete() {
+    for scenario in Scenario::ALL {
+        let cfg = PlatformConfig {
+            gpu: GpuConfig::scaled(2),
+            ..PlatformConfig::default()
+        };
+        let times = timed_run(cfg, &small_fir(), scenario, Duration::from_millis(20));
+        assert!(
+            times.wall > Duration::ZERO,
+            "{}: zero wall time",
+            scenario.label()
+        );
+        assert!(
+            times.cpu <= times.wall + Duration::from_millis(50),
+            "{}: cpu {}ms exceeds wall {}ms",
+            scenario.label(),
+            times.cpu.as_millis(),
+            times.wall.as_millis()
+        );
+    }
+}
+
+#[test]
+fn scenario_labels_are_distinct() {
+    let labels: std::collections::HashSet<&str> =
+        Scenario::ALL.iter().map(|s| s.label()).collect();
+    assert_eq!(labels.len(), 4);
+}
+
+#[test]
+fn thread_cpu_time_advances_with_work() {
+    let a = thread_cpu_time();
+    // Burn ~50 ms of CPU (the clock may tick at 10 ms granularity).
+    let start = std::time::Instant::now();
+    let mut x = 1u64;
+    while start.elapsed() < Duration::from_millis(60) {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+    }
+    std::hint::black_box(x);
+    let b = thread_cpu_time();
+    assert!(b > a, "thread CPU clock must advance under load");
+}
+
+#[test]
+fn monitored_sim_launch_and_terminate() {
+    let sim = MonitoredSim::launch(
+        || {
+            use akita_workloads::Workload;
+            let mut p = akita_gpu::Platform::build(PlatformConfig {
+                gpu: GpuConfig::scaled(2),
+                ..PlatformConfig::default()
+            });
+            small_fir().enqueue(&mut p.driver.borrow_mut());
+            p
+        },
+        Duration::from_millis(50),
+    );
+    let r = sim.get("/api/now").expect("now");
+    assert!(r.is_ok());
+    // Tiny workload: it will go idle quickly.
+    assert!(sim.wait_for_state("Idle", Duration::from_secs(30)));
+    let summary = sim.terminate();
+    assert!(summary.events > 0);
+}

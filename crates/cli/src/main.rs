@@ -1,0 +1,246 @@
+//! `rtm-sim` — run a monitored GPU simulation from the command line.
+//!
+//! ```text
+//! rtm-sim --workload im2col --chiplets 4 --port 8080 --hold
+//! rtm-sim --dump-config > machine.json   # edit, then:
+//! rtm-sim --config machine.json --workload matmul
+//! ```
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use akita::VTime;
+use akita_gpu::{GpuConfig, Platform, PlatformConfig};
+use akita_mem::L2Config;
+use akita_rtm::{Monitor, RtmServer};
+use akita_workloads::{by_name, extended_suite};
+
+const USAGE: &str = "\
+rtm-sim — run a monitored GPU simulation (AkitaRTM reproduction)
+
+USAGE:
+    rtm-sim [OPTIONS]
+
+OPTIONS:
+    --workload <name>       benchmark to run (default: fir)
+    --list-workloads        print the available benchmarks and exit
+    --cus <n>               compute units per chiplet (default: 8)
+    --chiplets <n>          GPU chiplets (default: 1)
+    --net-bandwidth <bps>   inter-chiplet link bandwidth in bytes/sec
+    --net-latency-ns <n>    inter-chiplet link latency in nanoseconds
+    --config <file.json>    load a full PlatformConfig (overrides the above)
+    --dump-config           print the default PlatformConfig as JSON and exit
+    --port <p>              monitor HTTP port (default: 0 = ephemeral)
+    --hold                  keep the simulation inspectable after it finishes
+                            (terminate via the dashboard or POST /api/terminate)
+    --no-monitor            run without the monitor (baseline timing)
+    --flush                 flush caches between kernels (MGPUSim's model)
+    --inject-deadlock       enable the Case Study 2 L2 write-buffer bug
+    -h, --help              show this help
+";
+
+struct Args {
+    workload: String,
+    cus: Option<usize>,
+    chiplets: Option<usize>,
+    net_bandwidth: Option<u64>,
+    net_latency_ns: Option<u64>,
+    config: Option<String>,
+    port: u16,
+    hold: bool,
+    no_monitor: bool,
+    inject_deadlock: bool,
+    flush: bool,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: "fir".into(),
+        cus: None,
+        chiplets: None,
+        net_bandwidth: None,
+        net_latency_ns: None,
+        config: None,
+        port: 0,
+        hold: false,
+        no_monitor: false,
+        inject_deadlock: false,
+        flush: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--workload" => args.workload = value("--workload"),
+            "--list-workloads" => {
+                for w in extended_suite() {
+                    println!("{}", w.name());
+                }
+                exit(0);
+            }
+            "--cus" => {
+                args.cus = Some(value("--cus").parse().unwrap_or_else(|_| die("bad --cus")))
+            }
+            "--chiplets" => {
+                args.chiplets = Some(
+                    value("--chiplets")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --chiplets")),
+                )
+            }
+            "--net-bandwidth" => {
+                args.net_bandwidth = Some(
+                    value("--net-bandwidth")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --net-bandwidth")),
+                )
+            }
+            "--net-latency-ns" => {
+                args.net_latency_ns = Some(
+                    value("--net-latency-ns")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --net-latency-ns")),
+                )
+            }
+            "--config" => args.config = Some(value("--config")),
+            "--dump-config" => {
+                let cfg = PlatformConfig::default();
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&cfg).expect("config serializes")
+                );
+                exit(0);
+            }
+            "--port" => {
+                args.port = value("--port").parse().unwrap_or_else(|_| die("bad --port"))
+            }
+            "--hold" => args.hold = true,
+            "--flush" => args.flush = true,
+            "--no-monitor" => args.no_monitor = true,
+            "--inject-deadlock" => args.inject_deadlock = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+    args
+}
+
+fn build_config(args: &Args) -> PlatformConfig {
+    let mut cfg = match &args.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            serde_json::from_str(&text)
+                .unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
+        }
+        None => PlatformConfig {
+            gpu: GpuConfig::default(),
+            ..PlatformConfig::default()
+        },
+    };
+    if let Some(cus) = args.cus {
+        cfg.gpu.cus_per_chiplet = cus;
+    }
+    if let Some(chiplets) = args.chiplets {
+        cfg.chiplets = chiplets;
+    }
+    if let Some(bw) = args.net_bandwidth {
+        cfg.net_bandwidth = Some(bw);
+    }
+    if let Some(ns) = args.net_latency_ns {
+        cfg.net_latency = VTime::from_ns(ns);
+    }
+    if args.flush {
+        cfg.gpu.dispatcher.flush_between_kernels = true;
+    }
+    if args.inject_deadlock {
+        cfg.gpu.l2 = L2Config {
+            size_bytes: 2048,
+            ways: 2,
+            write_buffer_cap: 1,
+            inject_writeback_deadlock: true,
+            ..cfg.gpu.l2
+        };
+    }
+    cfg
+}
+
+fn main() {
+    let args = parse_args();
+    let workload = by_name(&args.workload).unwrap_or_else(|| {
+        die(&format!(
+            "unknown workload `{}` (try --list-workloads)",
+            args.workload
+        ))
+    });
+    let cfg = build_config(&args);
+
+    println!(
+        "building platform: {} chiplet(s) x {} CUs, workload `{}`",
+        cfg.chiplets, cfg.gpu.cus_per_chiplet, args.workload
+    );
+    let mut platform = Platform::build(cfg);
+    workload.enqueue(&mut platform.driver.borrow_mut());
+    platform.start();
+
+    let server = if args.no_monitor {
+        None
+    } else {
+        let monitor = Arc::new(Monitor::attach(
+            &platform.sim,
+            platform.progress.clone(),
+            Duration::from_millis(100),
+        ));
+        let addr = format!("127.0.0.1:{}", args.port)
+            .parse()
+            .expect("valid socket address");
+        let server = RtmServer::start(monitor, addr).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind monitor server: {e}");
+            exit(1)
+        });
+        println!("AkitaRTM listening on {}", server.url());
+        Some(server)
+    };
+
+    let start = std::time::Instant::now();
+    let summary = if args.hold {
+        println!("--hold: the simulation stays inspectable; terminate from the dashboard.");
+        platform.sim.run_interactive()
+    } else {
+        platform.sim.run()
+    };
+    let wall = start.elapsed();
+
+    println!(
+        "\ndone: {} events, {} of virtual time, {:.3}s of wall time ({:.1}M events/s)",
+        summary.events,
+        summary.end_time,
+        wall.as_secs_f64(),
+        summary.events as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
+    );
+    if platform.driver.borrow().finished() {
+        println!("workload completed.");
+    } else {
+        println!("workload DID NOT complete — the simulation quiesced early (hang?).");
+        println!("rerun with --hold to inspect it through the dashboard.");
+    }
+    for bar in platform.progress.snapshot() {
+        println!("  {}: {}/{}", bar.name, bar.finished, bar.total);
+    }
+    drop(server);
+    if !platform.driver.borrow().finished() && !args.hold {
+        exit(3);
+    }
+}

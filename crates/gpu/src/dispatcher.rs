@@ -1,0 +1,383 @@
+//! The kernel dispatcher (command processor): assigns workgroups to compute
+//! units and drives the kernel progress bar (paper: "By default, we show
+//! the progress of GPU kernels in terms of how many blocks have completed
+//! execution").
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use akita::{
+    CompBase, Component, ComponentState, Ctx, Msg, MsgExt, Port, PortId, ProgressBarId,
+    ProgressRegistry, Simulation,
+};
+
+use akita_mem::msg::{FlushDoneRsp, FlushReq};
+
+use crate::kernel::Kernel;
+use crate::proto::{DispatchWgMsg, KernelDoneMsg, LaunchKernelMsg, WgDoneMsg};
+
+/// Configuration for a [`Dispatcher`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(default)]
+pub struct DispatcherConfig {
+    /// Maximum concurrent workgroups per CU (must match the CUs' own
+    /// limit).
+    pub max_wgs_per_cu: usize,
+    /// Workgroups dispatched per cycle.
+    pub dispatch_width: usize,
+    /// Flush every cache between kernels (MGPUSim's coherence-at-kernel-
+    /// boundary model). The next kernel launches only after all caches
+    /// acknowledge.
+    pub flush_between_kernels: bool,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        DispatcherConfig {
+            max_wgs_per_cu: 4,
+            dispatch_width: 2,
+            flush_between_kernels: false,
+        }
+    }
+}
+
+struct KernelExec {
+    kernel: Rc<dyn Kernel>,
+    total: u64,
+    next_wg: u64,
+    done: u64,
+    inflight: u64,
+    bar: Option<ProgressBarId>,
+}
+
+/// A kernel dispatcher component.
+pub struct Dispatcher {
+    base: CompBase,
+    /// Port to/from all compute units.
+    pub cu_port: Port,
+    /// Port to/from the driver.
+    pub driver_port: Port,
+    /// Port to/from the caches' control ports (flushes).
+    pub ctrl_port: Port,
+    cfg: DispatcherConfig,
+    cu_dsts: Vec<PortId>,
+    cu_by_port: HashMap<PortId, usize>,
+    cu_load: Vec<usize>,
+    /// Which CU runs each in-flight workgroup.
+    wg_cu: HashMap<u64, usize>,
+    queue: VecDeque<Rc<dyn Kernel>>,
+    current: Option<KernelExec>,
+    driver_dst: Option<PortId>,
+    progress: Option<ProgressRegistry>,
+    pending: Option<Box<dyn Msg>>,
+    pending_driver: Option<Box<dyn Msg>>,
+    /// Cache control ports to flush between kernels.
+    cache_ctrl_dsts: Vec<PortId>,
+    /// Flush in progress: requests still to send, acks still expected.
+    flush_to_send: Vec<PortId>,
+    flush_outstanding: usize,
+    kernels_completed: u64,
+    flush_rounds: u64,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher named `name`.
+    pub fn new(sim: &Simulation, name: &str, cfg: DispatcherConfig) -> Self {
+        let reg = sim.buffer_registry();
+        let cu_port = Port::new(&reg, format!("{name}.CuPort"), 16);
+        let driver_port = Port::new(&reg, format!("{name}.DriverPort"), 4);
+        let ctrl_port = Port::new(&reg, format!("{name}.CtrlPort"), 16);
+        Dispatcher {
+            base: CompBase::new("Dispatcher", name),
+            cu_port,
+            driver_port,
+            ctrl_port,
+            cfg,
+            cu_dsts: Vec::new(),
+            cu_by_port: HashMap::new(),
+            cu_load: Vec::new(),
+            wg_cu: HashMap::new(),
+            queue: VecDeque::new(),
+            current: None,
+            driver_dst: None,
+            progress: None,
+            pending: None,
+            pending_driver: None,
+            cache_ctrl_dsts: Vec::new(),
+            flush_to_send: Vec::new(),
+            flush_outstanding: 0,
+            kernels_completed: 0,
+            flush_rounds: 0,
+        }
+    }
+
+    /// Registers a compute unit reachable at `dispatch_port_id`, reporting
+    /// completions from `done_src` (the same port).
+    pub fn add_cu(&mut self, dispatch_port_id: PortId) {
+        self.cu_by_port.insert(dispatch_port_id, self.cu_dsts.len());
+        self.cu_dsts.push(dispatch_port_id);
+        self.cu_load.push(0);
+    }
+
+    /// Points completion notices at the driver.
+    pub fn set_driver(&mut self, dst: PortId) {
+        self.driver_dst = Some(dst);
+    }
+
+    /// Registers a cache control port to flush between kernels.
+    pub fn add_cache(&mut self, ctrl_port_id: PortId) {
+        self.cache_ctrl_dsts.push(ctrl_port_id);
+    }
+
+    /// Kernel-boundary flush rounds completed.
+    pub fn flush_rounds(&self) -> u64 {
+        self.flush_rounds
+    }
+
+    /// Attaches a progress registry; each kernel gets its own bar.
+    pub fn set_progress(&mut self, progress: ProgressRegistry) {
+        self.progress = Some(progress);
+    }
+
+    /// Kernels fully completed so far.
+    pub fn kernels_completed(&self) -> u64 {
+        self.kernels_completed
+    }
+
+    /// Progress of the running kernel `(done, inflight, total)`, if any.
+    pub fn current_progress(&self) -> Option<(u64, u64, u64)> {
+        self.current.as_ref().map(|k| (k.done, k.inflight, k.total))
+    }
+
+    fn update_bar(&self) {
+        if let (Some(reg), Some(k)) = (&self.progress, &self.current) {
+            if let Some(bar) = k.bar {
+                reg.update(bar, k.done, k.inflight);
+            }
+        }
+    }
+
+    fn accept_launches(&mut self, ctx: &mut Ctx) -> bool {
+        let mut progress = false;
+        while let Some(msg) = self.driver_port.retrieve(ctx) {
+            let launch = akita::downcast_msg::<LaunchKernelMsg>(msg)
+                .unwrap_or_else(|_| panic!("Dispatcher {}: unexpected message", self.name()));
+            self.queue.push_back(launch.kernel);
+            progress = true;
+        }
+        progress
+    }
+
+    fn start_next(&mut self) -> bool {
+        if self.current.is_some() {
+            return false;
+        }
+        let Some(kernel) = self.queue.pop_front() else {
+            return false;
+        };
+        let total = kernel.num_workgroups();
+        let bar = self
+            .progress
+            .as_ref()
+            .map(|reg| reg.create_bar(format!("kernel {}", kernel.name()), total));
+        self.current = Some(KernelExec {
+            kernel,
+            total,
+            next_wg: 0,
+            done: 0,
+            inflight: 0,
+            bar,
+        });
+        true
+    }
+
+    fn collect_completions(&mut self, ctx: &mut Ctx) -> bool {
+        let mut progress = false;
+        while let Some(msg) = self.cu_port.retrieve(ctx) {
+            let done = akita::downcast_msg::<WgDoneMsg>(msg)
+                .unwrap_or_else(|_| panic!("Dispatcher {}: unexpected CU message", self.name()));
+            let cu = self
+                .wg_cu
+                .remove(&done.wg_idx)
+                .unwrap_or_else(|| panic!("Dispatcher {}: unknown workgroup", self.name()));
+            self.cu_load[cu] -= 1;
+            let k = self
+                .current
+                .as_mut()
+                .expect("completion implies a running kernel");
+            k.done += 1;
+            k.inflight -= 1;
+            progress = true;
+        }
+        if progress {
+            self.update_bar();
+        }
+        progress
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx) -> bool {
+        let mut progress = false;
+        if let Some(msg) = self.pending.take() {
+            if let Err(msg) = self.cu_port.send(ctx, msg) {
+                self.pending = Some(msg);
+                return false;
+            }
+            progress = true;
+        }
+        for _ in 0..self.cfg.dispatch_width {
+            let Some(k) = self.current.as_mut() else {
+                break;
+            };
+            if k.next_wg >= k.total || self.pending.is_some() {
+                break;
+            }
+            // Least-loaded CU with a free slot.
+            let Some((cu, _)) = self
+                .cu_load
+                .iter()
+                .enumerate()
+                .filter(|(_, &load)| load < self.cfg.max_wgs_per_cu)
+                .min_by_key(|(_, &load)| load)
+            else {
+                break;
+            };
+            let wg_idx = k.next_wg;
+            let spec = k.kernel.workgroup(wg_idx);
+            k.next_wg += 1;
+            k.inflight += 1;
+            self.cu_load[cu] += 1;
+            self.wg_cu.insert(wg_idx, cu);
+            let (code, args) = (k.kernel.code_base(), k.kernel.args_base());
+            let msg: Box<dyn Msg> =
+                Box::new(DispatchWgMsg::new(self.cu_dsts[cu], wg_idx, spec).with_segments(code, args));
+            if let Err(m) = self.cu_port.send(ctx, msg) {
+                self.pending = Some(m);
+            }
+            progress = true;
+        }
+        if progress {
+            self.update_bar();
+        }
+        progress
+    }
+
+    /// Drives an in-progress kernel-boundary flush. Returns whether any
+    /// progress happened; the kernel completes only after every cache acks.
+    fn drive_flush(&mut self, ctx: &mut Ctx) -> bool {
+        let mut progress = false;
+        while let Some(&dst) = self.flush_to_send.last() {
+            let msg: Box<dyn Msg> = Box::new(FlushReq::new(dst));
+            match self.ctrl_port.send(ctx, msg) {
+                Ok(()) => {
+                    self.flush_to_send.pop();
+                    progress = true;
+                }
+                Err(_) => break,
+            }
+        }
+        while let Some(msg) = self.ctrl_port.retrieve(ctx) {
+            assert!(
+                (*msg).downcast_ref::<FlushDoneRsp>().is_some(),
+                "Dispatcher {}: unexpected control message",
+                self.name()
+            );
+            self.flush_outstanding -= 1;
+            progress = true;
+        }
+        progress
+    }
+
+    fn finish_kernel(&mut self, ctx: &mut Ctx) -> bool {
+        let mut progress = false;
+        if let Some(msg) = self.pending_driver.take() {
+            match self.driver_port.send(ctx, msg) {
+                Ok(()) => progress = true,
+                Err(msg) => {
+                    self.pending_driver = Some(msg);
+                    return false;
+                }
+            }
+        }
+        // A flush barrier in progress holds the kernel open until done.
+        if self.flush_outstanding > 0 || !self.flush_to_send.is_empty() {
+            progress |= self.drive_flush(ctx);
+            if self.flush_outstanding > 0 || !self.flush_to_send.is_empty() {
+                return progress;
+            }
+            self.flush_rounds += 1;
+            return progress | self.complete_kernel(ctx);
+        }
+        let done = matches!(&self.current, Some(k) if k.done == k.total && k.inflight == 0);
+        if !done {
+            return progress;
+        }
+        if self.cfg.flush_between_kernels && !self.cache_ctrl_dsts.is_empty() {
+            self.flush_to_send = self.cache_ctrl_dsts.clone();
+            self.flush_outstanding = self.cache_ctrl_dsts.len();
+            return progress | self.drive_flush(ctx);
+        }
+        progress | self.complete_kernel(ctx)
+    }
+
+    fn complete_kernel(&mut self, ctx: &mut Ctx) -> bool {
+        let k = self.current.take().expect("kernel open");
+        if let (Some(reg), Some(bar)) = (&self.progress, k.bar) {
+            reg.update(bar, k.total, 0);
+        }
+        self.kernels_completed += 1;
+        if let Some(dst) = self.driver_dst {
+            let msg: Box<dyn Msg> = Box::new(KernelDoneMsg::new(dst));
+            if let Err(msg) = self.driver_port.send(ctx, msg) {
+                self.pending_driver = Some(msg);
+            }
+        }
+        true
+    }
+}
+
+impl Component for Dispatcher {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx) -> bool {
+        let _prof = akita::profile::scope("Dispatcher::tick");
+        let mut progress = false;
+        progress |= self.accept_launches(ctx);
+        progress |= self.start_next();
+        progress |= self.collect_completions(ctx);
+        progress |= self.dispatch(ctx);
+        progress |= self.finish_kernel(ctx);
+        progress
+    }
+
+    fn state(&self) -> ComponentState {
+        let (done, inflight, total) = self.current_progress().unwrap_or((0, 0, 0));
+        ComponentState::new()
+            .field("kernel_active", self.current.is_some())
+            .field("wgs_done", done)
+            .field("wgs_inflight", inflight)
+            .field("wgs_total", total)
+            .container("queued_kernels", self.queue.len(), None)
+            .field("kernels_completed", self.kernels_completed)
+            .field("flush_outstanding", self.flush_outstanding)
+            .field("flush_rounds", self.flush_rounds)
+    }
+}
+
+impl std::fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Dispatcher({} active={} queued={})",
+            self.name(),
+            self.current.is_some(),
+            self.queue.len()
+        )
+    }
+}

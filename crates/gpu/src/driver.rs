@@ -1,0 +1,240 @@
+//! The host-side driver: memory allocation, timed memcpy with a progress
+//! bar, and kernel launches.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use akita::{
+    CompBase, Component, ComponentState, Ctx, Msg, MsgExt, Port, PortId, ProgressBarId,
+    ProgressRegistry, Simulation,
+};
+use akita_mem::{Addr, PageTable};
+
+use crate::kernel::Kernel;
+use crate::proto::{KernelDoneMsg, LaunchKernelMsg};
+
+/// One queued host-side operation.
+enum Task {
+    /// A host↔device copy of `bytes`, modeled at PCIe bandwidth with a
+    /// progress bar in copied bytes (paper §IV-C mentions "number of bytes
+    /// copied in a memory copy operation" as a progress-bar source).
+    Memcpy { label: String, bytes: u64 },
+    /// Launch a kernel and wait for completion.
+    Launch { kernel: Rc<dyn Kernel> },
+}
+
+enum DriverState {
+    Idle,
+    Copying {
+        left: u64,
+        total: u64,
+        bar: Option<ProgressBarId>,
+    },
+    WaitingKernel,
+}
+
+/// The host driver component.
+pub struct Driver {
+    base: CompBase,
+    /// Port to the GPU dispatcher.
+    pub gpu_port: Port,
+    dispatcher_dst: Option<PortId>,
+    tasks: VecDeque<Task>,
+    state: DriverState,
+    /// Copy throughput in bytes per driver cycle (16 B/cycle at 1 GHz ≈
+    /// 16 GB/s, PCIe 3.0 x16).
+    pub copy_bytes_per_cycle: u64,
+    progress: Option<ProgressRegistry>,
+    page_table: Rc<PageTable>,
+    next_vaddr: Addr,
+    kernels_launched: u64,
+    copies_done: u64,
+}
+
+impl Driver {
+    /// Creates a driver named `name` allocating out of `page_table`.
+    pub fn new(sim: &Simulation, name: &str, page_table: Rc<PageTable>) -> Self {
+        let gpu_port = Port::new(&sim.buffer_registry(), format!("{name}.GpuPort"), 4);
+        Driver {
+            base: CompBase::new("Driver", name),
+            gpu_port,
+            dispatcher_dst: None,
+            tasks: VecDeque::new(),
+            state: DriverState::Idle,
+            copy_bytes_per_cycle: 16,
+            progress: None,
+            page_table,
+            next_vaddr: 0x1000, // leave page zero unmapped
+            kernels_launched: 0,
+            copies_done: 0,
+        }
+    }
+
+    /// Points kernel launches at the dispatcher.
+    pub fn set_dispatcher(&mut self, dst: PortId) {
+        self.dispatcher_dst = Some(dst);
+    }
+
+    /// Attaches a progress registry for memcpy bars.
+    pub fn set_progress(&mut self, progress: ProgressRegistry) {
+        self.progress = Some(progress);
+    }
+
+    /// Allocates `bytes` of device memory, mapping pages identity-style
+    /// (physical interleaving across chiplets falls out of the address).
+    /// Returns the base virtual address.
+    pub fn alloc(&mut self, bytes: u64) -> Addr {
+        let page = self.page_table.page_size();
+        let base = self.next_vaddr.next_multiple_of(page);
+        let end = base + bytes;
+        let mut va = base;
+        while va < end {
+            self.page_table.map_page(va, va);
+            va += page;
+        }
+        self.next_vaddr = end;
+        base
+    }
+
+    /// Queues a host↔device copy of `bytes`.
+    pub fn enqueue_memcpy(&mut self, label: impl Into<String>, bytes: u64) {
+        self.tasks.push_back(Task::Memcpy {
+            label: label.into(),
+            bytes,
+        });
+    }
+
+    /// Queues a kernel launch.
+    pub fn enqueue_kernel(&mut self, kernel: Rc<dyn Kernel>) {
+        self.tasks.push_back(Task::Launch { kernel });
+    }
+
+    /// Whether every queued task has completed.
+    pub fn finished(&self) -> bool {
+        self.tasks.is_empty() && matches!(self.state, DriverState::Idle)
+    }
+
+    /// Lifetime `(kernels launched, copies completed)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.kernels_launched, self.copies_done)
+    }
+
+    fn start_next(&mut self, ctx: &mut Ctx) -> bool {
+        if !matches!(self.state, DriverState::Idle) {
+            return false;
+        }
+        let Some(task) = self.tasks.pop_front() else {
+            return false;
+        };
+        match task {
+            Task::Memcpy { label, bytes } => {
+                let bar = self
+                    .progress
+                    .as_ref()
+                    .map(|reg| reg.create_bar(format!("memcpy {label}"), bytes));
+                self.state = DriverState::Copying {
+                    left: bytes,
+                    total: bytes,
+                    bar,
+                };
+            }
+            Task::Launch { kernel } => {
+                let dst = self
+                    .dispatcher_dst
+                    .unwrap_or_else(|| panic!("Driver {}: dispatcher not wired", self.name()));
+                let msg: Box<dyn Msg> = Box::new(LaunchKernelMsg::new(dst, kernel));
+                match self.gpu_port.send(ctx, msg) {
+                    Ok(()) => {
+                        self.kernels_launched += 1;
+                        self.state = DriverState::WaitingKernel;
+                    }
+                    Err(m) => {
+                        // Port busy: put the task back and retry next tick.
+                        let launch = akita::downcast_msg::<LaunchKernelMsg>(m)
+                            .expect("we just built this");
+                        self.tasks.push_front(Task::Launch {
+                            kernel: launch.kernel,
+                        });
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn advance_copy(&mut self) -> bool {
+        let DriverState::Copying { left, total, bar } = &mut self.state else {
+            return false;
+        };
+        *left = left.saturating_sub(self.copy_bytes_per_cycle);
+        if let (Some(reg), Some(bar)) = (&self.progress, *bar) {
+            reg.update(bar, *total - *left, self.copy_bytes_per_cycle.min(*left));
+        }
+        if *left == 0 {
+            if let (Some(reg), Some(bar)) = (&self.progress, *bar) {
+                reg.update(bar, *total, 0);
+            }
+            self.copies_done += 1;
+            self.state = DriverState::Idle;
+        }
+        true
+    }
+
+    fn collect_kernel_done(&mut self, ctx: &mut Ctx) -> bool {
+        let mut progress = false;
+        while let Some(msg) = self.gpu_port.retrieve(ctx) {
+            assert!(
+                (*msg).downcast_ref::<KernelDoneMsg>().is_some(),
+                "Driver {}: unexpected message",
+                self.name()
+            );
+            assert!(
+                matches!(self.state, DriverState::WaitingKernel),
+                "Driver {}: kernel-done while not waiting",
+                self.name()
+            );
+            self.state = DriverState::Idle;
+            progress = true;
+        }
+        progress
+    }
+}
+
+impl Component for Driver {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx) -> bool {
+        let _prof = akita::profile::scope("Driver::tick");
+        let mut progress = false;
+        progress |= self.collect_kernel_done(ctx);
+        progress |= self.advance_copy();
+        progress |= self.start_next(ctx);
+        progress
+    }
+
+    fn state(&self) -> ComponentState {
+        let state = match &self.state {
+            DriverState::Idle => "idle",
+            DriverState::Copying { .. } => "copying",
+            DriverState::WaitingKernel => "waiting_kernel",
+        };
+        ComponentState::new()
+            .field("state", state)
+            .container("queued_tasks", self.tasks.len(), None)
+            .field("kernels_launched", self.kernels_launched)
+            .field("copies_done", self.copies_done)
+            .field("allocated_to", self.next_vaddr)
+    }
+}
+
+impl std::fmt::Debug for Driver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Driver({} {} tasks queued)", self.name(), self.tasks.len())
+    }
+}

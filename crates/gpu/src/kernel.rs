@@ -1,0 +1,162 @@
+//! The kernel abstraction: timing-trace programs for wavefronts.
+//!
+//! MGPUSim executes real OpenCL kernels; this reproduction substitutes
+//! *timing-trace kernels* (see DESIGN.md): each workload procedurally
+//! generates, per wavefront, a stream of compute delays and memory accesses
+//! with the workload's real address pattern. The monitor only ever observes
+//! timing state (buffer levels, transactions in flight, progress), which is
+//! fully determined by these streams.
+
+use std::fmt::Debug;
+
+use akita_mem::Addr;
+
+/// One instruction in a wavefront's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// Busy the wavefront for this many cycles.
+    Compute(u32),
+    /// Issue a load of `size` bytes at the address.
+    Load(Addr, u32),
+    /// Issue a store of `size` bytes at the address.
+    Store(Addr, u32),
+    /// Wait until every wavefront of the workgroup reaches this barrier.
+    Barrier,
+}
+
+/// The instruction trace of one wavefront.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WavefrontProgram {
+    /// Instructions, executed in order.
+    pub insts: Vec<Inst>,
+}
+
+impl WavefrontProgram {
+    /// Creates a program from an instruction list.
+    pub fn new(insts: Vec<Inst>) -> Self {
+        WavefrontProgram { insts }
+    }
+
+    /// Number of memory instructions in the trace.
+    pub fn mem_insts(&self) -> usize {
+        self.insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Load(..) | Inst::Store(..)))
+            .count()
+    }
+
+    /// Number of barriers in the trace.
+    pub fn barriers(&self) -> usize {
+        self.insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Barrier))
+            .count()
+    }
+}
+
+/// The work of one workgroup: its wavefronts' traces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkGroupSpec {
+    /// Wavefront programs, one per wavefront.
+    pub wavefronts: Vec<WavefrontProgram>,
+}
+
+/// A launchable GPU kernel.
+///
+/// Implementations generate workgroup traces lazily so that huge grids
+/// never materialize in memory at once.
+pub trait Kernel: Debug {
+    /// Kernel name, shown in progress bars.
+    fn name(&self) -> &str;
+
+    /// Number of workgroups in the grid.
+    fn num_workgroups(&self) -> u64;
+
+    /// Generates the trace of workgroup `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `idx >= num_workgroups()`.
+    fn workgroup(&self, idx: u64) -> WorkGroupSpec;
+
+    /// Base address of the kernel's code segment, used by the instruction
+    /// fetch path when the platform's front-end caches are enabled. All
+    /// wavefronts share it, so the L1I caches it after warmup.
+    fn code_base(&self) -> Addr {
+        0x4000_0000
+    }
+
+    /// Base address of the kernel-argument segment, read once per
+    /// wavefront through the scalar path.
+    fn args_base(&self) -> Addr {
+        self.code_base() + 0x10_0000
+    }
+}
+
+/// A trivial kernel for tests: every workgroup runs the same fixed program
+/// on every wavefront.
+#[derive(Debug, Clone)]
+pub struct UniformKernel {
+    name: String,
+    workgroups: u64,
+    wavefronts_per_wg: usize,
+    program: WavefrontProgram,
+}
+
+impl UniformKernel {
+    /// Creates a kernel of `workgroups` × `wavefronts_per_wg` copies of
+    /// `program`.
+    pub fn new(
+        name: impl Into<String>,
+        workgroups: u64,
+        wavefronts_per_wg: usize,
+        program: WavefrontProgram,
+    ) -> Self {
+        UniformKernel {
+            name: name.into(),
+            workgroups,
+            wavefronts_per_wg,
+            program,
+        }
+    }
+}
+
+impl Kernel for UniformKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_workgroups(&self) -> u64 {
+        self.workgroups
+    }
+
+    fn workgroup(&self, idx: u64) -> WorkGroupSpec {
+        assert!(idx < self.workgroups, "workgroup index out of range");
+        WorkGroupSpec {
+            wavefronts: vec![self.program.clone(); self.wavefronts_per_wg],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_kernel_replicates_program() {
+        let prog = WavefrontProgram::new(vec![Inst::Compute(3), Inst::Load(0x40, 4)]);
+        let k = UniformKernel::new("k", 5, 2, prog.clone());
+        assert_eq!(k.num_workgroups(), 5);
+        let wg = k.workgroup(4);
+        assert_eq!(wg.wavefronts.len(), 2);
+        assert_eq!(wg.wavefronts[0], prog);
+        assert_eq!(prog.mem_insts(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_workgroup_panics() {
+        let k = UniformKernel::new("k", 1, 1, WavefrontProgram::default());
+        let _ = k.workgroup(1);
+    }
+}

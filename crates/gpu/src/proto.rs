@@ -1,0 +1,100 @@
+//! Control-plane messages between driver, dispatcher, and compute units.
+
+use std::rc::Rc;
+
+use akita::{impl_msg, MsgMeta, PortId};
+
+use crate::kernel::{Kernel, WorkGroupSpec};
+
+/// Driver → dispatcher: run this kernel.
+#[derive(Debug)]
+pub struct LaunchKernelMsg {
+    /// Message metadata.
+    pub meta: MsgMeta,
+    /// The kernel to run.
+    pub kernel: Rc<dyn Kernel>,
+}
+impl_msg!(LaunchKernelMsg);
+
+impl LaunchKernelMsg {
+    /// Creates a launch message addressed to `dst`.
+    pub fn new(dst: PortId, kernel: Rc<dyn Kernel>) -> Self {
+        LaunchKernelMsg {
+            meta: MsgMeta::new(dst, dst, 64),
+            kernel,
+        }
+    }
+}
+
+/// Dispatcher → driver: the current kernel finished.
+#[derive(Debug)]
+pub struct KernelDoneMsg {
+    /// Message metadata.
+    pub meta: MsgMeta,
+}
+impl_msg!(KernelDoneMsg);
+
+impl KernelDoneMsg {
+    /// Creates a completion message addressed to `dst`.
+    pub fn new(dst: PortId) -> Self {
+        KernelDoneMsg {
+            meta: MsgMeta::new(dst, dst, 16),
+        }
+    }
+}
+
+/// Dispatcher → CU: execute this workgroup.
+#[derive(Debug)]
+pub struct DispatchWgMsg {
+    /// Message metadata.
+    pub meta: MsgMeta,
+    /// Grid-wide workgroup index.
+    pub wg_idx: u64,
+    /// The workgroup's wavefront traces.
+    pub spec: WorkGroupSpec,
+    /// Kernel code segment (instruction fetch).
+    pub code_base: u64,
+    /// Kernel argument segment (scalar loads).
+    pub args_base: u64,
+}
+impl_msg!(DispatchWgMsg);
+
+impl DispatchWgMsg {
+    /// Creates a dispatch message addressed to `dst`.
+    pub fn new(dst: PortId, wg_idx: u64, spec: WorkGroupSpec) -> Self {
+        DispatchWgMsg {
+            meta: MsgMeta::new(dst, dst, 64),
+            wg_idx,
+            spec,
+            code_base: 0x4000_0000,
+            args_base: 0x4010_0000,
+        }
+    }
+
+    /// Sets the code and argument segments, builder style.
+    pub fn with_segments(mut self, code_base: u64, args_base: u64) -> Self {
+        self.code_base = code_base;
+        self.args_base = args_base;
+        self
+    }
+}
+
+/// CU → dispatcher: a workgroup completed.
+#[derive(Debug)]
+pub struct WgDoneMsg {
+    /// Message metadata.
+    pub meta: MsgMeta,
+    /// Grid-wide workgroup index.
+    pub wg_idx: u64,
+}
+impl_msg!(WgDoneMsg);
+
+impl WgDoneMsg {
+    /// Creates a completion message addressed to `dst`.
+    pub fn new(dst: PortId, wg_idx: u64) -> Self {
+        WgDoneMsg {
+            meta: MsgMeta::new(dst, dst, 16),
+            wg_idx,
+        }
+    }
+}

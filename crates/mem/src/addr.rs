@@ -1,0 +1,155 @@
+//! Address arithmetic: cache-line alignment and chiplet interleaving.
+
+use crate::msg::Addr;
+
+/// Default cache line size, in bytes.
+pub const CACHE_LINE: u64 = 64;
+
+/// Rounds `addr` down to its cache-line base.
+pub fn line_of(addr: Addr) -> Addr {
+    addr & !(CACHE_LINE - 1)
+}
+
+/// Whether two addresses fall in the same cache line.
+pub fn same_line(a: Addr, b: Addr) -> bool {
+    line_of(a) == line_of(b)
+}
+
+/// Interleaving of a flat physical address space across `units` memory
+/// owners (L2 banks, chiplets) at `granularity`-byte boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use akita_mem::Interleaving;
+///
+/// let il = Interleaving::new(4, 4096);
+/// assert_eq!(il.owner_of(0), 0);
+/// assert_eq!(il.owner_of(4096), 1);
+/// assert_eq!(il.owner_of(4 * 4096), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interleaving {
+    units: u64,
+    granularity: u64,
+}
+
+impl Interleaving {
+    /// Creates an interleaving over `units` owners with `granularity`-byte
+    /// chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `units` is zero or `granularity` is not a power of two.
+    pub fn new(units: u64, granularity: u64) -> Self {
+        assert!(units > 0, "need at least one owner");
+        assert!(
+            granularity.is_power_of_two(),
+            "granularity must be a power of two"
+        );
+        Interleaving { units, granularity }
+    }
+
+    /// Number of owners.
+    pub fn units(&self) -> u64 {
+        self.units
+    }
+
+    /// The owner responsible for `addr`.
+    pub fn owner_of(&self, addr: Addr) -> u64 {
+        (addr / self.granularity) % self.units
+    }
+
+    /// The `n`-th address chunk owned by `owner` (for workload generators
+    /// that want owner-local or owner-remote access patterns).
+    pub fn chunk_base(&self, owner: u64, n: u64) -> Addr {
+        assert!(owner < self.units, "owner out of range");
+        (n * self.units + owner) * self.granularity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 64);
+        assert_eq!(line_of(0x12345), 0x12340);
+        assert!(same_line(65, 127));
+        assert!(!same_line(63, 64));
+    }
+
+    #[test]
+    fn interleaving_round_robins() {
+        let il = Interleaving::new(4, 4096);
+        let owners: Vec<u64> = (0..8).map(|i| il.owner_of(i * 4096)).collect();
+        assert_eq!(owners, [0, 1, 2, 3, 0, 1, 2, 3]);
+        // Within a chunk the owner does not change.
+        assert_eq!(il.owner_of(4096 + 4095), 1);
+    }
+
+    #[test]
+    fn chunk_base_inverts_owner_of() {
+        let il = Interleaving::new(3, 1024);
+        for owner in 0..3 {
+            for n in 0..5 {
+                let base = il.chunk_base(owner, n);
+                assert_eq!(il.owner_of(base), owner);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_granularity_panics() {
+        let _ = Interleaving::new(2, 100);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// chunk_base is injective and owner_of is its left inverse: the
+        /// interleaving partitions the address space without overlap.
+        #[test]
+        fn interleaving_is_a_partition(
+            units in 1u64..16,
+            gran_log in 6u32..16,
+            owner_a in 0u64..16,
+            n_a in 0u64..1000,
+            owner_b in 0u64..16,
+            n_b in 0u64..1000,
+        ) {
+            let il = Interleaving::new(units, 1 << gran_log);
+            let oa = owner_a % units;
+            let ob = owner_b % units;
+            let a = il.chunk_base(oa, n_a);
+            let b = il.chunk_base(ob, n_b);
+            prop_assert_eq!(il.owner_of(a), oa);
+            prop_assert_eq!(il.owner_of(b), ob);
+            if (oa, n_a) != (ob, n_b) {
+                prop_assert_ne!(a, b);
+            }
+        }
+
+        /// Every address inside a chunk shares its base's owner.
+        #[test]
+        fn owner_is_constant_within_chunk(
+            units in 1u64..16,
+            gran_log in 6u32..16,
+            n in 0u64..1000,
+            off in 0u64..u64::MAX,
+        ) {
+            let gran = 1u64 << gran_log;
+            let il = Interleaving::new(units, gran);
+            let base = il.chunk_base(0, n);
+            prop_assert_eq!(il.owner_of(base + off % gran), il.owner_of(base));
+        }
+    }
+}

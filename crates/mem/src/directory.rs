@@ -1,0 +1,350 @@
+//! Set-associative cache directory with LRU replacement.
+
+use crate::addr::line_of;
+use crate::msg::Addr;
+
+/// One cache line's bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: Addr,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// What [`Directory::allocate`] displaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Victim {
+    /// An invalid way was used; nothing was displaced.
+    None,
+    /// A clean line was silently dropped.
+    Clean(Addr),
+    /// A dirty line must be written back before reuse.
+    Dirty(Addr),
+}
+
+/// A set-associative directory tracking which lines a cache holds.
+///
+/// # Examples
+///
+/// ```
+/// use akita_mem::{Directory, Victim};
+///
+/// let mut dir = Directory::new(16 * 1024, 4, 64); // 16 KiB, 4-way, 64 B lines
+/// assert!(!dir.contains(0x1000));
+/// assert_eq!(dir.allocate(0x1000), Victim::None);
+/// assert!(dir.contains(0x1000));
+/// ```
+#[derive(Debug)]
+pub struct Directory {
+    sets: Vec<Vec<Line>>,
+    block_size: u64,
+    num_sets: u64,
+    clock: u64,
+}
+
+impl Directory {
+    /// Creates a directory for a cache of `size_bytes` with `ways`
+    /// associativity and `block_size`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry is inconsistent (size not divisible into
+    /// sets, or non-power-of-two set count / block size).
+    pub fn new(size_bytes: u64, ways: u64, block_size: u64) -> Self {
+        assert!(block_size.is_power_of_two(), "block size must be 2^n");
+        assert!(ways > 0 && size_bytes > 0);
+        assert_eq!(
+            size_bytes % (ways * block_size),
+            0,
+            "cache size must be a whole number of sets"
+        );
+        let num_sets = size_bytes / (ways * block_size);
+        assert!(num_sets.is_power_of_two(), "set count must be 2^n");
+        let line = Line {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            last_use: 0,
+        };
+        Directory {
+            sets: vec![vec![line; ways as usize]; num_sets as usize],
+            block_size,
+            num_sets,
+            clock: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.num_sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u64 {
+        self.sets[0].len() as u64
+    }
+
+    /// Number of valid lines currently held.
+    pub fn valid_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|l| l.valid)
+            .count()
+    }
+
+    fn set_index(&self, addr: Addr) -> usize {
+        ((line_of(addr) / self.block_size) % self.num_sets) as usize
+    }
+
+    /// Whether the line containing `addr` is present, updating LRU on hit.
+    pub fn contains(&mut self, addr: Addr) -> bool {
+        self.touch(addr).is_some()
+    }
+
+    /// Hit check that also reports dirtiness, updating LRU.
+    pub fn touch(&mut self, addr: Addr) -> Option<bool> {
+        self.clock += 1;
+        let tag = line_of(addr);
+        let clock = self.clock;
+        let set = self.set_index(addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                line.last_use = clock;
+                return Some(line.dirty);
+            }
+        }
+        None
+    }
+
+    /// Marks the line containing `addr` dirty; returns whether it was
+    /// present.
+    pub fn mark_dirty(&mut self, addr: Addr) -> bool {
+        let tag = line_of(addr);
+        let set = self.set_index(addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                line.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Installs the line containing `addr` (clean), evicting the LRU way.
+    ///
+    /// Returns what was displaced so write-back caches can schedule the
+    /// victim's write-back.
+    pub fn allocate(&mut self, addr: Addr) -> Victim {
+        self.clock += 1;
+        let tag = line_of(addr);
+        let clock = self.clock;
+        let set_idx = self.set_index(addr);
+        let set = &mut self.sets[set_idx];
+        // Refresh if already present (fill race after coalesced misses).
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_use = clock;
+            return Victim::None;
+        }
+        // Prefer an invalid way.
+        if let Some(line) = set.iter_mut().find(|l| !l.valid) {
+            *line = Line {
+                tag,
+                valid: true,
+                dirty: false,
+                last_use: clock,
+            };
+            return Victim::None;
+        }
+        // Evict the least recently used way.
+        let lru = set
+            .iter_mut()
+            .min_by_key(|l| l.last_use)
+            .expect("ways > 0");
+        let victim = if lru.dirty {
+            Victim::Dirty(lru.tag)
+        } else {
+            Victim::Clean(lru.tag)
+        };
+        *lru = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            last_use: clock,
+        };
+        victim
+    }
+
+    /// What [`Directory::allocate`] *would* displace for `addr`, without
+    /// modifying anything. Lets write-back caches stall instead of evicting
+    /// when the write-back path is full.
+    pub fn peek_victim(&self, addr: Addr) -> Victim {
+        let tag = line_of(addr);
+        let set = &self.sets[self.set_index(addr)];
+        if set.iter().any(|l| l.valid && l.tag == tag) {
+            return Victim::None;
+        }
+        if set.iter().any(|l| !l.valid) {
+            return Victim::None;
+        }
+        let lru = set.iter().min_by_key(|l| l.last_use).expect("ways > 0");
+        if lru.dirty {
+            Victim::Dirty(lru.tag)
+        } else {
+            Victim::Clean(lru.tag)
+        }
+    }
+
+    /// Invalidates every line, returning the addresses of the dirty ones
+    /// (for write-back before reuse).
+    pub fn drain_all(&mut self) -> Vec<Addr> {
+        let mut dirty = Vec::new();
+        for set in &mut self.sets {
+            for line in set {
+                if line.valid && line.dirty {
+                    dirty.push(line.tag);
+                }
+                line.valid = false;
+                line.dirty = false;
+            }
+        }
+        dirty.sort_unstable();
+        dirty
+    }
+
+    /// Drops the line containing `addr`, returning whether it was dirty.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
+        let tag = line_of(addr);
+        let set = self.set_index(addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                return Some(line.dirty);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_allocate() {
+        let mut d = Directory::new(1024, 2, 64);
+        assert_eq!(d.allocate(0x100), Victim::None);
+        assert!(d.contains(0x100));
+        assert!(d.contains(0x13f)); // same line
+        assert!(!d.contains(0x140)); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2-way, 1 set: 128 B cache with 64 B lines.
+        let mut d = Directory::new(128, 2, 64);
+        d.allocate(0x000);
+        d.allocate(0x040);
+        assert!(d.contains(0x000)); // touch A: B becomes LRU
+        match d.allocate(0x080) {
+            Victim::Clean(tag) => assert_eq!(tag, 0x040),
+            v => panic!("expected clean eviction of B, got {v:?}"),
+        }
+        assert!(d.contains(0x000));
+        assert!(!d.contains(0x040));
+    }
+
+    #[test]
+    fn dirty_victims_are_reported() {
+        let mut d = Directory::new(128, 2, 64);
+        d.allocate(0x000);
+        d.allocate(0x040);
+        assert!(d.mark_dirty(0x000));
+        assert!(d.contains(0x040)); // A is LRU now, and dirty
+        assert_eq!(d.allocate(0x080), Victim::Dirty(0x000));
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut d = Directory::new(128, 2, 64);
+        d.allocate(0x000);
+        d.mark_dirty(0x000);
+        assert_eq!(d.invalidate(0x000), Some(true));
+        assert_eq!(d.invalidate(0x000), None);
+        assert!(!d.contains(0x000));
+    }
+
+    #[test]
+    fn peek_victim_matches_allocate_without_mutating() {
+        let mut d = Directory::new(128, 2, 64);
+        assert_eq!(d.peek_victim(0x000), Victim::None); // invalid way free
+        d.allocate(0x000);
+        d.allocate(0x040);
+        d.mark_dirty(0x040);
+        assert!(d.contains(0x040)); // 0x000 is LRU and clean
+        assert_eq!(d.peek_victim(0x080), Victim::Clean(0x000));
+        assert_eq!(d.peek_victim(0x000), Victim::None); // present: no victim
+        assert_eq!(d.allocate(0x080), Victim::Clean(0x000));
+    }
+
+    #[test]
+    fn mark_dirty_on_absent_line_is_false() {
+        let mut d = Directory::new(128, 2, 64);
+        assert!(!d.mark_dirty(0x500));
+    }
+
+    #[test]
+    fn allocate_existing_line_is_refresh_not_eviction() {
+        let mut d = Directory::new(128, 2, 64);
+        d.allocate(0x000);
+        d.allocate(0x040);
+        assert_eq!(d.allocate(0x000), Victim::None);
+        assert_eq!(d.valid_lines(), 2);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        // 2 sets, 1 way each.
+        let mut d = Directory::new(128, 1, 64);
+        d.allocate(0x000); // set 0
+        d.allocate(0x040); // set 1
+        assert!(d.contains(0x000));
+        assert!(d.contains(0x040));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The directory never holds more valid lines than its geometry
+        /// allows, and a just-allocated line always hits.
+        #[test]
+        fn capacity_invariant(addrs in prop::collection::vec(0u64..1u64 << 20, 1..500)) {
+            let mut d = Directory::new(4096, 4, 64);
+            let max_lines = (4096 / 64) as usize;
+            for addr in addrs {
+                d.allocate(addr);
+                prop_assert!(d.contains(addr));
+                prop_assert!(d.valid_lines() <= max_lines);
+            }
+        }
+
+        /// A line stays resident until at least `ways` distinct conflicting
+        /// lines are allocated after it.
+        #[test]
+        fn residency_under_lru(base in 0u64..1u64 << 16) {
+            let mut d = Directory::new(8192, 4, 64); // 32 sets, 4 ways
+            let set_stride = 32 * 64;
+            let line = base & !63;
+            d.allocate(line);
+            for k in 1..4 {
+                d.allocate(line + k * set_stride); // same set, different tags
+                prop_assert!(d.contains(line), "evicted after only {k} conflicts");
+            }
+        }
+    }
+}

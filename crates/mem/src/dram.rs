@@ -1,0 +1,245 @@
+//! A banked DRAM controller with open-row policy.
+//!
+//! Requests map to banks by address; each bank keeps one row open. A
+//! request hitting the open row pays the access latency; a different row
+//! adds the precharge+activate penalty. Banks serve requests independently
+//! (bank-level parallelism), each with a minimum gap between completions.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use akita::{CompBase, Component, ComponentState, Ctx, Msg, MsgExt, Port, Simulation, VTime};
+
+use crate::msg::{Addr, DataReadyRsp, ReadReq, WriteDoneRsp, WriteReq};
+
+/// Configuration for a [`Dram`] controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(default)]
+pub struct DramConfig {
+    /// Access latency for an open-row hit.
+    pub latency: VTime,
+    /// Additional latency when the row must be opened first.
+    pub row_miss_penalty: VTime,
+    /// Minimum gap between completions on one bank (inverse per-bank
+    /// throughput).
+    pub service_interval: VTime,
+    /// Number of banks.
+    pub banks: usize,
+    /// Bytes per row (row-buffer size).
+    pub row_bytes: u64,
+    /// Internal request queue depth; full queue backpressures the port.
+    pub queue_cap: usize,
+    /// Top-port buffer depth.
+    pub top_buf: usize,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            latency: VTime::from_ns(60),
+            row_miss_penalty: VTime::from_ns(40),
+            service_interval: VTime::from_ps(2_000), // per bank
+            banks: 8,
+            row_bytes: 2 * 1024,
+            queue_cap: 64,
+            top_buf: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    next_free: VTime,
+}
+
+struct Completion {
+    ready: VTime,
+    seq: u64,
+    rsp: Box<dyn Msg>,
+}
+
+impl PartialEq for Completion {
+    fn eq(&self, other: &Self) -> bool {
+        (self.ready, self.seq) == (other.ready, other.seq)
+    }
+}
+impl Eq for Completion {}
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ready, self.seq).cmp(&(other.ready, other.seq))
+    }
+}
+
+/// A banked DRAM controller component.
+pub struct Dram {
+    base: CompBase,
+    /// Port facing the L2 cache.
+    pub top: Port,
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    queue: BinaryHeap<Reverse<Completion>>,
+    next_seq: u64,
+    pending_up: Option<Box<dyn Msg>>,
+    reads: u64,
+    writes: u64,
+    row_hits: u64,
+    row_misses: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM controller named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `banks` is zero or `row_bytes` is not a power of two.
+    pub fn new(sim: &Simulation, name: &str, cfg: DramConfig) -> Self {
+        assert!(cfg.banks > 0, "need at least one bank");
+        assert!(cfg.row_bytes.is_power_of_two(), "row size must be 2^n");
+        let top = Port::new(&sim.buffer_registry(), format!("{name}.TopPort"), cfg.top_buf);
+        Dram {
+            base: CompBase::new("DRAM", name),
+            top,
+            banks: vec![Bank::default(); cfg.banks],
+            cfg,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            pending_up: None,
+            reads: 0,
+            writes: 0,
+            row_hits: 0,
+            row_misses: 0,
+        }
+    }
+
+    /// Lifetime `(reads, writes)` served.
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
+    /// Lifetime `(row hits, row misses)`.
+    pub fn row_stats(&self) -> (u64, u64) {
+        (self.row_hits, self.row_misses)
+    }
+
+    fn bank_and_row(&self, addr: Addr) -> (usize, u64) {
+        let bank = ((addr / self.cfg.row_bytes) % self.cfg.banks as u64) as usize;
+        let row = addr / (self.cfg.row_bytes * self.cfg.banks as u64);
+        (bank, row)
+    }
+
+    fn complete_ready(&mut self, ctx: &mut Ctx) -> bool {
+        let now = ctx.now();
+        let mut progress = false;
+        if let Some(msg) = self.pending_up.take() {
+            if let Err(msg) = self.top.send(ctx, msg) {
+                self.pending_up = Some(msg);
+                return false;
+            }
+            progress = true;
+        }
+        while self.pending_up.is_none() {
+            let Some(Reverse(head)) = self.queue.peek() else {
+                break;
+            };
+            if head.ready > now {
+                let id = self.base.id;
+                let t = head.ready;
+                ctx.schedule_tick(id, t);
+                break;
+            }
+            let c = self.queue.pop().expect("peeked").0;
+            if let Err(msg) = self.top.send(ctx, c.rsp) {
+                self.pending_up = Some(msg);
+            }
+            progress = true;
+        }
+        progress
+    }
+
+    fn accept(&mut self, ctx: &mut Ctx) -> bool {
+        let now = ctx.now();
+        let mut progress = false;
+        while self.queue.len() < self.cfg.queue_cap {
+            let Some(msg) = self.top.retrieve(ctx) else {
+                break;
+            };
+            let (addr, rsp): (Addr, Box<dyn Msg>) =
+                if let Some(r) = (*msg).downcast_ref::<ReadReq>() {
+                    self.reads += 1;
+                    (r.addr, Box::new(DataReadyRsp::new(r.meta.src, r.meta.id, r.size)))
+                } else if let Some(w) = (*msg).downcast_ref::<WriteReq>() {
+                    self.writes += 1;
+                    (w.addr, Box::new(WriteDoneRsp::new(w.meta.src, w.meta.id)))
+                } else {
+                    panic!("DRAM {}: unexpected message", self.name());
+                };
+            let (bank_idx, row) = self.bank_and_row(addr);
+            let bank = &mut self.banks[bank_idx];
+            let mut access = self.cfg.latency;
+            if bank.open_row == Some(row) {
+                self.row_hits += 1;
+            } else {
+                self.row_misses += 1;
+                access = access + self.cfg.row_miss_penalty;
+                bank.open_row = Some(row);
+            }
+            let start = bank.next_free.max(now);
+            let ready = start + access;
+            bank.next_free = start + self.cfg.service_interval;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.queue.push(Reverse(Completion { ready, seq, rsp }));
+            progress = true;
+        }
+        progress
+    }
+}
+
+impl Component for Dram {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx) -> bool {
+        let _prof = akita::profile::scope("DRAM::tick");
+        let mut progress = false;
+        progress |= self.complete_ready(ctx);
+        progress |= self.accept(ctx);
+        progress
+    }
+
+    fn state(&self) -> ComponentState {
+        ComponentState::new()
+            .container("queue", self.queue.len(), Some(self.cfg.queue_cap))
+            .field("banks", self.cfg.banks)
+            .field("reads", self.reads)
+            .field("writes", self.writes)
+            .field("row_hits", self.row_hits)
+            .field("row_misses", self.row_misses)
+            .field("holding_response", self.pending_up.is_some())
+    }
+}
+
+impl std::fmt::Debug for Dram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Dram({} {} banks, queue {}/{})",
+            self.name(),
+            self.cfg.banks,
+            self.queue.len(),
+            self.cfg.queue_cap
+        )
+    }
+}

@@ -1,0 +1,42 @@
+//! # akita-mem — memory hierarchy models
+//!
+//! The memory subsystem of the MGPUSim-style GPU simulator used by the
+//! AkitaRTM reproduction: reorder buffer ([`ReorderBuffer`]), address
+//! translation ([`AddressTranslator`], [`Tlb`], [`PageTable`]),
+//! write-through L1 ([`L1Cache`]), write-back L2 with a write buffer
+//! ([`L2Cache`] — including the deadlock bug of the paper's Case Study 2
+//! behind [`L2Config::inject_writeback_deadlock`]), and a [`Dram`]
+//! controller.
+//!
+//! Components chain CU → ROB → AT → L1 → (switch/RDMA) → L2 → DRAM and
+//! speak the protocol in [`msg`]: [`ReadReq`]/[`WriteReq`] down,
+//! [`DataReadyRsp`]/[`WriteDoneRsp`] up. Routing toward memory is by
+//! address via [`LowModuleFinder`]s.
+
+#![warn(missing_docs)]
+
+mod addr;
+mod at;
+mod cache;
+mod directory;
+mod dram;
+mod l2;
+pub mod msg;
+mod mshr;
+mod plumbing;
+mod rob;
+mod routing;
+mod tlb2;
+
+pub use addr::{line_of, same_line, Interleaving, CACHE_LINE};
+pub use at::{AddressTranslator, AtConfig, PageTable, Tlb};
+pub use cache::{L1Cache, L1Config};
+pub use directory::{Directory, Victim};
+pub use dram::{Dram, DramConfig};
+pub use l2::{L2Cache, L2Config};
+pub use msg::{Addr, DataReadyRsp, ReadReq, WriteDoneRsp, WriteReq};
+pub use mshr::{Mshr, MshrEntry, Waiter};
+pub use plumbing::SendQueue;
+pub use rob::{ReorderBuffer, RobConfig};
+pub use tlb2::{L2Tlb, L2TlbConfig, TranslationReq, TranslationRsp};
+pub use routing::{ChipletRouter, InterleavedLowModules, LowModuleFinder, SingleLowModule};

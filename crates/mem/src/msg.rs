@@ -1,0 +1,200 @@
+//! The memory protocol: read/write requests and their responses.
+//!
+//! Components at every level of the hierarchy (ROB, address translator,
+//! caches, DRAM, RDMA) speak this protocol. Each hop issues its own
+//! downstream request with a fresh [`MsgId`] and routes the response back
+//! using `respond_to`, exactly like MGPUSim's `mem` protocol.
+
+use akita::{impl_msg, MsgId, MsgMeta, PortId};
+
+/// Byte address in the (virtual or physical) address space.
+pub type Addr = u64;
+
+/// A read request for `size` bytes at `addr`.
+#[derive(Debug)]
+pub struct ReadReq {
+    /// Message metadata.
+    pub meta: MsgMeta,
+    /// Start address.
+    pub addr: Addr,
+    /// Bytes requested.
+    pub size: u32,
+}
+impl_msg!(ReadReq);
+
+impl ReadReq {
+    /// Creates a read request addressed to `dst`.
+    pub fn new(dst: PortId, addr: Addr, size: u32) -> Self {
+        // Request messages are small on the wire: header + address.
+        let meta = MsgMeta::new(dst, dst, 24);
+        ReadReq { meta, addr, size }
+    }
+}
+
+/// A write request of `size` bytes at `addr` (timing-only: no data payload).
+#[derive(Debug)]
+pub struct WriteReq {
+    /// Message metadata.
+    pub meta: MsgMeta,
+    /// Start address.
+    pub addr: Addr,
+    /// Bytes written.
+    pub size: u32,
+}
+impl_msg!(WriteReq);
+
+impl WriteReq {
+    /// Creates a write request addressed to `dst`. The wire traffic includes
+    /// the written bytes.
+    pub fn new(dst: PortId, addr: Addr, size: u32) -> Self {
+        let meta = MsgMeta::new(dst, dst, 24 + size);
+        WriteReq { meta, addr, size }
+    }
+}
+
+/// The data response completing a [`ReadReq`].
+#[derive(Debug)]
+pub struct DataReadyRsp {
+    /// Message metadata.
+    pub meta: MsgMeta,
+    /// Id of the request this answers.
+    pub respond_to: MsgId,
+    /// Bytes carried (mirrors the request size).
+    pub size: u32,
+}
+impl_msg!(DataReadyRsp);
+
+impl DataReadyRsp {
+    /// Creates a data response to request `respond_to`, addressed to `dst`.
+    pub fn new(dst: PortId, respond_to: MsgId, size: u32) -> Self {
+        let meta = MsgMeta::new(dst, dst, 24 + size);
+        DataReadyRsp {
+            meta,
+            respond_to,
+            size,
+        }
+    }
+}
+
+/// The acknowledgment completing a [`WriteReq`].
+#[derive(Debug)]
+pub struct WriteDoneRsp {
+    /// Message metadata.
+    pub meta: MsgMeta,
+    /// Id of the request this answers.
+    pub respond_to: MsgId,
+}
+impl_msg!(WriteDoneRsp);
+
+impl WriteDoneRsp {
+    /// Creates a write acknowledgment to request `respond_to`, addressed to
+    /// `dst`.
+    pub fn new(dst: PortId, respond_to: MsgId) -> Self {
+        let meta = MsgMeta::new(dst, dst, 24);
+        WriteDoneRsp { meta, respond_to }
+    }
+}
+
+/// Asks a cache to write back dirty state and invalidate everything.
+///
+/// MGPUSim flushes caches at kernel boundaries; the dispatcher sends this
+/// to every cache's control port and waits for the [`FlushDoneRsp`]s
+/// before the next kernel launches.
+#[derive(Debug)]
+pub struct FlushReq {
+    /// Message metadata.
+    pub meta: MsgMeta,
+}
+impl_msg!(FlushReq);
+
+impl FlushReq {
+    /// Creates a flush request addressed to `dst`.
+    pub fn new(dst: PortId) -> Self {
+        FlushReq {
+            meta: MsgMeta::new(dst, dst, 16),
+        }
+    }
+}
+
+/// Completion of a [`FlushReq`]: the cache is clean and empty.
+#[derive(Debug)]
+pub struct FlushDoneRsp {
+    /// Message metadata.
+    pub meta: MsgMeta,
+    /// Id of the flush request this answers.
+    pub respond_to: MsgId,
+}
+impl_msg!(FlushDoneRsp);
+
+impl FlushDoneRsp {
+    /// Creates a flush acknowledgment to request `respond_to`.
+    pub fn new(dst: PortId, respond_to: MsgId) -> Self {
+        FlushDoneRsp {
+            meta: MsgMeta::new(dst, dst, 16),
+            respond_to,
+        }
+    }
+}
+
+/// A uniform view over the two request types, for components that treat
+/// reads and writes alike while queueing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read access.
+    Read,
+    /// A write access.
+    Write,
+}
+
+/// Inspects a message as a memory request, if it is one.
+pub fn as_request(msg: &dyn akita::Msg) -> Option<(AccessKind, Addr, u32, MsgId, PortId)> {
+    use akita::MsgExt;
+    if let Some(r) = msg.downcast_ref::<ReadReq>() {
+        Some((AccessKind::Read, r.addr, r.size, r.meta.id, r.meta.src))
+    } else {
+        msg.downcast_ref::<WriteReq>()
+            .map(|w| (AccessKind::Write, w.addr, w.size, w.meta.id, w.meta.src))
+    }
+}
+
+/// Inspects a message as a memory response, returning `(respond_to, src)`.
+pub fn as_response(msg: &dyn akita::Msg) -> Option<(MsgId, PortId)> {
+    use akita::MsgExt;
+    if let Some(r) = msg.downcast_ref::<DataReadyRsp>() {
+        Some((r.respond_to, r.meta.src))
+    } else {
+        msg.downcast_ref::<WriteDoneRsp>()
+            .map(|w| (w.respond_to, w.meta.src))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use akita::Msg;
+
+    #[test]
+    fn requests_carry_traffic_proportional_to_writes() {
+        let dst = {
+            let reg = akita::BufferRegistry::new();
+            akita::Port::new(&reg, "p", 1).id()
+        };
+        let r = ReadReq::new(dst, 0x1000, 64);
+        let w = WriteReq::new(dst, 0x1000, 64);
+        assert!(w.meta().traffic_bytes > r.meta().traffic_bytes);
+    }
+
+    #[test]
+    fn as_request_classifies() {
+        let reg = akita::BufferRegistry::new();
+        let dst = akita::Port::new(&reg, "p", 1).id();
+        let r: Box<dyn Msg> = Box::new(ReadReq::new(dst, 0x40, 4));
+        let (kind, addr, size, _, _) = as_request(&*r).unwrap();
+        assert_eq!(kind, AccessKind::Read);
+        assert_eq!(addr, 0x40);
+        assert_eq!(size, 4);
+        let d: Box<dyn Msg> = Box::new(DataReadyRsp::new(dst, r.meta().id, 4));
+        assert!(as_request(&*d).is_none());
+        assert_eq!(as_response(&*d).unwrap().0, r.meta().id);
+    }
+}

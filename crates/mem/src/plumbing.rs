@@ -1,0 +1,87 @@
+//! Small helpers shared by the memory-hierarchy components.
+
+use std::collections::VecDeque;
+
+use akita::{Ctx, Msg, Port};
+
+/// A bounded queue of outbound messages with busy-retry semantics.
+///
+/// Components stage responses/requests here; [`SendQueue::flush`] pushes as
+/// many as the connection accepts each tick. When a send is rejected the
+/// message stays at the head and the connection wakes the component when
+/// space frees, so no progress is silently lost.
+#[derive(Debug)]
+pub struct SendQueue {
+    port: Port,
+    queue: VecDeque<Box<dyn Msg>>,
+    cap: usize,
+}
+
+impl SendQueue {
+    /// Creates a queue flushing through `port`, holding at most `cap`
+    /// staged messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(port: Port, cap: usize) -> Self {
+        assert!(cap > 0, "send queue capacity must be positive");
+        SendQueue {
+            port,
+            queue: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// The port this queue flushes through.
+    pub fn port(&self) -> &Port {
+        &self.port
+    }
+
+    /// Whether another message can be staged.
+    pub fn can_push(&self) -> bool {
+        self.queue.len() < self.cap
+    }
+
+    /// Stages `msg` for sending.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full — callers must check [`SendQueue::can_push`]; this
+    /// models a hardware queue that cannot overflow.
+    pub fn push(&mut self, msg: Box<dyn Msg>) {
+        assert!(self.can_push(), "send queue overflow on {}", self.port.name());
+        self.queue.push_back(msg);
+    }
+
+    /// Sends as many staged messages as the connection accepts.
+    /// Returns whether at least one was sent.
+    pub fn flush(&mut self, ctx: &mut Ctx) -> bool {
+        let mut progress = false;
+        while let Some(msg) = self.queue.pop_front() {
+            match self.port.send(ctx, msg) {
+                Ok(()) => progress = true,
+                Err(msg) => {
+                    self.queue.push_front(msg);
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Staged message count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}

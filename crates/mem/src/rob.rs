@@ -1,0 +1,244 @@
+//! The reorder buffer (L1VROB).
+//!
+//! Sits between a compute unit and the address translator, letting memory
+//! responses return out of order downstream while retiring them in order
+//! upstream. Its top-port buffer pinned at 8/8 is the first signal of the
+//! bottleneck in the paper's Case Study 1 (Fig 3, Fig 5 b/c); the number of
+//! transactions *inside* the ROB (70–130 of 128 in the paper) is exposed via
+//! [`Component::state`] as `transactions`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use akita::{
+    CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, Port, PortId, Simulation,
+};
+
+use crate::msg::{as_response, AccessKind, DataReadyRsp, ReadReq, WriteDoneRsp, WriteReq};
+use crate::plumbing::SendQueue;
+
+struct RobEntry {
+    up_id: MsgId,
+    down_id: MsgId,
+    requester: PortId,
+    kind: AccessKind,
+    size: u32,
+    done: bool,
+}
+
+/// Configuration for a [`ReorderBuffer`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(default)]
+pub struct RobConfig {
+    /// Maximum in-flight transactions (paper default: 128).
+    pub capacity: usize,
+    /// Requests accepted from the top per cycle.
+    pub width: usize,
+    /// Top-port incoming buffer depth (paper shows 8).
+    pub top_buf: usize,
+    /// Bottom-port incoming buffer depth.
+    pub bottom_buf: usize,
+}
+
+impl Default for RobConfig {
+    fn default() -> Self {
+        RobConfig {
+            capacity: 128,
+            width: 4,
+            top_buf: 8,
+            bottom_buf: 8,
+        }
+    }
+}
+
+/// A reorder buffer component.
+pub struct ReorderBuffer {
+    base: CompBase,
+    /// Port facing the compute unit.
+    pub top: Port,
+    /// Port facing the address translator.
+    pub bottom: Port,
+    bottom_dst: Option<PortId>,
+    cfg: RobConfig,
+    entries: VecDeque<RobEntry>,
+    pending_down: Option<Box<dyn Msg>>,
+    up_queue: SendQueue,
+    total_retired: u64,
+}
+
+impl ReorderBuffer {
+    /// Creates a reorder buffer named `name` (ports register their buffers
+    /// under `<name>.TopPort` / `<name>.BottomPort`).
+    pub fn new(sim: &Simulation, name: &str, cfg: RobConfig) -> Self {
+        let reg = sim.buffer_registry();
+        let top = Port::new(&reg, format!("{name}.TopPort"), cfg.top_buf);
+        let bottom = Port::new(&reg, format!("{name}.BottomPort"), cfg.bottom_buf);
+        let up_queue = SendQueue::new(top.clone(), cfg.width.max(4));
+        ReorderBuffer {
+            base: CompBase::new("ReorderBuffer", name),
+            top,
+            bottom,
+            bottom_dst: None,
+            cfg,
+            entries: VecDeque::new(),
+            pending_down: None,
+            up_queue,
+            total_retired: 0,
+        }
+    }
+
+    /// Points the ROB at the next module toward memory (usually the address
+    /// translator's top port).
+    pub fn set_bottom_dst(&mut self, dst: PortId) {
+        self.bottom_dst = Some(dst);
+    }
+
+    /// In-flight transactions.
+    pub fn transactions(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Transactions retired over the component's lifetime.
+    pub fn total_retired(&self) -> u64 {
+        self.total_retired
+    }
+
+    fn retire(&mut self, ctx: &mut Ctx) -> bool {
+        let mut progress = self.up_queue.flush(ctx);
+        while self.up_queue.can_push() {
+            match self.entries.front() {
+                Some(e) if e.done => {
+                    let e = self.entries.pop_front().expect("front checked");
+                    let rsp: Box<dyn Msg> = match e.kind {
+                        AccessKind::Read => {
+                            Box::new(DataReadyRsp::new(e.requester, e.up_id, e.size))
+                        }
+                        AccessKind::Write => Box::new(WriteDoneRsp::new(e.requester, e.up_id)),
+                    };
+                    self.up_queue.push(rsp);
+                    self.total_retired += 1;
+                    progress = true;
+                }
+                _ => break,
+            }
+        }
+        progress |= self.up_queue.flush(ctx);
+        progress
+    }
+
+    fn collect_responses(&mut self, ctx: &mut Ctx) -> bool {
+        let mut progress = false;
+        for _ in 0..self.cfg.width {
+            let Some(msg) = self.bottom.retrieve(ctx) else {
+                break;
+            };
+            let (respond_to, _) = as_response(&*msg)
+                .unwrap_or_else(|| panic!("ROB {}: unexpected message from below", self.name()));
+            let name = self.base.name.clone();
+            let entry = self
+                .entries
+                .iter_mut()
+                .find(|e| e.down_id == respond_to)
+                .unwrap_or_else(|| panic!("ROB {name}: response {respond_to} matches no entry"));
+            entry.done = true;
+            progress = true;
+        }
+        progress
+    }
+
+    fn accept_requests(&mut self, ctx: &mut Ctx) -> bool {
+        let mut progress = false;
+        if let Some(msg) = self.pending_down.take() {
+            if let Err(msg) = self.bottom.send(ctx, msg) {
+                self.pending_down = Some(msg);
+                return false;
+            }
+            progress = true;
+        }
+        let dst = match self.bottom_dst {
+            Some(d) => d,
+            None => return progress,
+        };
+        for _ in 0..self.cfg.width {
+            if self.entries.len() >= self.cfg.capacity || self.pending_down.is_some() {
+                break;
+            }
+            let Some(msg) = self.top.retrieve(ctx) else {
+                break;
+            };
+            let down: Box<dyn Msg>;
+            let entry;
+            if let Some(r) = (*msg).downcast_ref::<ReadReq>() {
+                let d = ReadReq::new(dst, r.addr, r.size);
+                entry = RobEntry {
+                    up_id: r.meta.id,
+                    down_id: d.meta.id,
+                    requester: r.meta.src,
+                    kind: AccessKind::Read,
+                    size: r.size,
+                    done: false,
+                };
+                down = Box::new(d);
+            } else if let Some(w) = (*msg).downcast_ref::<WriteReq>() {
+                let d = WriteReq::new(dst, w.addr, w.size);
+                entry = RobEntry {
+                    up_id: w.meta.id,
+                    down_id: d.meta.id,
+                    requester: w.meta.src,
+                    kind: AccessKind::Write,
+                    size: w.size,
+                    done: false,
+                };
+                down = Box::new(d);
+            } else {
+                panic!("ROB {}: unexpected message from above", self.name());
+            }
+            self.entries.push_back(entry);
+            if let Err(m) = self.bottom.send(ctx, down) {
+                self.pending_down = Some(m);
+            }
+            progress = true;
+        }
+        progress
+    }
+}
+
+impl Component for ReorderBuffer {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx) -> bool {
+        let _prof = akita::profile::scope("ReorderBuffer::tick");
+        let mut progress = false;
+        progress |= self.retire(ctx);
+        progress |= self.collect_responses(ctx);
+        progress |= self.accept_requests(ctx);
+        progress
+    }
+
+    fn state(&self) -> ComponentState {
+        ComponentState::new()
+            .container("transactions", self.entries.len(), Some(self.cfg.capacity))
+            .field("total_retired", self.total_retired)
+            .field("top_port_pending", self.top.incoming_len())
+            .field("retire_queue", self.up_queue.len())
+            .field("holding_downstream", self.pending_down.is_some())
+    }
+}
+
+impl std::fmt::Debug for ReorderBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ReorderBuffer({} {}/{} entries)",
+            self.name(),
+            self.entries.len(),
+            self.cfg.capacity
+        )
+    }
+}

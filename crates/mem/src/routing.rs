@@ -1,0 +1,161 @@
+//! Address-based routing to downstream memory modules.
+//!
+//! MGPUSim components find their "low module" (the next component toward
+//! memory) by address. A [`LowModuleFinder`] answers "which port do I send a
+//! request for address X to?" — the mechanism that lets an L1 cache split
+//! traffic across interleaved L2 banks and divert remote-chiplet addresses
+//! to the RDMA engine.
+
+use std::fmt::Debug;
+
+use akita::PortId;
+
+use crate::addr::Interleaving;
+use crate::msg::Addr;
+
+/// Maps an address to the destination port of the responsible module.
+pub trait LowModuleFinder: Debug {
+    /// The port to send a request for `addr` to.
+    fn find(&self, addr: Addr) -> PortId;
+}
+
+/// Everything goes to a single module.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleLowModule(pub PortId);
+
+impl LowModuleFinder for SingleLowModule {
+    fn find(&self, _addr: Addr) -> PortId {
+        self.0
+    }
+}
+
+/// Addresses interleave across several modules (e.g. L2 banks).
+#[derive(Debug, Clone)]
+pub struct InterleavedLowModules {
+    interleaving: Interleaving,
+    ports: Vec<PortId>,
+}
+
+impl InterleavedLowModules {
+    /// Creates a finder interleaving across `ports` at `granularity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ports` is empty or `granularity` is not a power of two.
+    pub fn new(granularity: u64, ports: Vec<PortId>) -> Self {
+        let interleaving = Interleaving::new(ports.len() as u64, granularity);
+        InterleavedLowModules {
+            interleaving,
+            ports,
+        }
+    }
+}
+
+impl LowModuleFinder for InterleavedLowModules {
+    fn find(&self, addr: Addr) -> PortId {
+        self.ports[self.interleaving.owner_of(addr) as usize]
+    }
+}
+
+/// Chiplet-aware routing: local addresses interleave across local L2 banks,
+/// remote addresses go to the RDMA engine (paper Case Study 1 topology).
+#[derive(Debug, Clone)]
+pub struct ChipletRouter {
+    /// Which chiplet owns which address range.
+    chiplet_interleaving: Interleaving,
+    /// This chiplet's index.
+    local_chiplet: u64,
+    /// Local L2 bank routing.
+    local_banks: InterleavedLowModules,
+    /// Port of the local RDMA engine, for remote addresses.
+    rdma: PortId,
+}
+
+impl ChipletRouter {
+    /// Creates a router for chiplet `local_chiplet` of
+    /// `chiplet_interleaving.units()` chiplets.
+    pub fn new(
+        chiplet_interleaving: Interleaving,
+        local_chiplet: u64,
+        local_banks: InterleavedLowModules,
+        rdma: PortId,
+    ) -> Self {
+        assert!(
+            local_chiplet < chiplet_interleaving.units(),
+            "chiplet index out of range"
+        );
+        ChipletRouter {
+            chiplet_interleaving,
+            local_chiplet,
+            local_banks,
+            rdma,
+        }
+    }
+
+    /// Whether `addr` is owned by this chiplet.
+    pub fn is_local(&self, addr: Addr) -> bool {
+        self.chiplet_interleaving.owner_of(addr) == self.local_chiplet
+    }
+}
+
+impl LowModuleFinder for ChipletRouter {
+    fn find(&self, addr: Addr) -> PortId {
+        if self.is_local(addr) {
+            self.local_banks.find(addr)
+        } else {
+            self.rdma
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use akita::{BufferRegistry, Port};
+
+    fn port(reg: &BufferRegistry, name: &str) -> PortId {
+        Port::new(reg, name, 1).id()
+    }
+
+    #[test]
+    fn single_always_answers_the_same() {
+        let reg = BufferRegistry::new();
+        let p = port(&reg, "only");
+        let f = SingleLowModule(p);
+        assert_eq!(f.find(0), p);
+        assert_eq!(f.find(u64::MAX), p);
+    }
+
+    #[test]
+    fn interleaved_splits_by_granularity() {
+        let reg = BufferRegistry::new();
+        let a = port(&reg, "a");
+        let b = port(&reg, "b");
+        let f = InterleavedLowModules::new(4096, vec![a, b]);
+        assert_eq!(f.find(0), a);
+        assert_eq!(f.find(4096), b);
+        assert_eq!(f.find(8192), a);
+        assert_eq!(f.find(4095), a);
+    }
+
+    #[test]
+    fn chiplet_router_diverts_remote_to_rdma() {
+        let reg = BufferRegistry::new();
+        let bank0 = port(&reg, "bank0");
+        let bank1 = port(&reg, "bank1");
+        let rdma = port(&reg, "rdma");
+        let router = ChipletRouter::new(
+            Interleaving::new(2, 4096),
+            0,
+            InterleavedLowModules::new(64, vec![bank0, bank1]),
+            rdma,
+        );
+        // Chiplet 0 owns chunks 0, 2, 4, ... of 4 KiB.
+        assert!(router.is_local(0));
+        assert!(!router.is_local(4096));
+        assert_eq!(router.find(0), bank0);
+        assert_eq!(router.find(64), bank1);
+        assert_eq!(router.find(4096), rdma);
+        assert_eq!(router.find(4096 + 64), rdma);
+    }
+}

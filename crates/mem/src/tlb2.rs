@@ -1,0 +1,233 @@
+//! The shared second-level TLB.
+//!
+//! MGPUSim translates through a TLB hierarchy: per-CU L1 TLBs (inside the
+//! address translator here) backed by a chiplet-shared L2 TLB, which walks
+//! the page table on a miss. Enable with
+//! `GpuConfig::shared_l2_tlb`; without it the address translator models the
+//! walk with a fixed latency (the calibrated default).
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use akita::{
+    impl_msg, CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, MsgMeta, Port,
+    PortId, Simulation, VTime,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::at::{PageTable, Tlb};
+use crate::msg::Addr;
+
+/// Asks the L2 TLB to translate the page containing `vaddr`.
+#[derive(Debug)]
+pub struct TranslationReq {
+    /// Message metadata.
+    pub meta: MsgMeta,
+    /// Virtual address to translate.
+    pub vaddr: Addr,
+}
+impl_msg!(TranslationReq);
+
+impl TranslationReq {
+    /// Creates a translation request addressed to `dst`.
+    pub fn new(dst: PortId, vaddr: Addr) -> Self {
+        TranslationReq {
+            meta: MsgMeta::new(dst, dst, 16),
+            vaddr,
+        }
+    }
+}
+
+/// A completed translation.
+#[derive(Debug)]
+pub struct TranslationRsp {
+    /// Message metadata.
+    pub meta: MsgMeta,
+    /// Id of the request this answers.
+    pub respond_to: MsgId,
+    /// The physical address of `vaddr`.
+    pub paddr: Addr,
+}
+impl_msg!(TranslationRsp);
+
+impl TranslationRsp {
+    /// Creates a translation response addressed to `dst`.
+    pub fn new(dst: PortId, respond_to: MsgId, paddr: Addr) -> Self {
+        TranslationRsp {
+            meta: MsgMeta::new(dst, dst, 24),
+            respond_to,
+            paddr,
+        }
+    }
+}
+
+/// Configuration for an [`L2Tlb`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(default)]
+pub struct L2TlbConfig {
+    /// Cached page translations.
+    pub entries: usize,
+    /// Cycles for an L2 TLB hit.
+    pub hit_latency: u64,
+    /// Cycles for the page-table walk on an L2 TLB miss.
+    pub walk_latency: u64,
+    /// Requests accepted per cycle.
+    pub width: usize,
+    /// Top-port buffer depth.
+    pub top_buf: usize,
+}
+
+impl Default for L2TlbConfig {
+    fn default() -> Self {
+        L2TlbConfig {
+            entries: 512,
+            hit_latency: 8,
+            walk_latency: 120,
+            width: 4,
+            top_buf: 8,
+        }
+    }
+}
+
+struct InFlight {
+    ready: VTime,
+    respond_to: MsgId,
+    requester: PortId,
+    paddr: Addr,
+}
+
+/// A chiplet-shared second-level TLB component.
+pub struct L2Tlb {
+    base: CompBase,
+    /// Port facing the address translators.
+    pub top: Port,
+    cfg: L2TlbConfig,
+    tlb: Tlb,
+    page_table: Rc<PageTable>,
+    pipeline: VecDeque<InFlight>,
+    pending_up: Option<Box<dyn Msg>>,
+    translations: u64,
+}
+
+impl L2Tlb {
+    /// Creates an L2 TLB named `name`.
+    pub fn new(sim: &Simulation, name: &str, page_table: Rc<PageTable>, cfg: L2TlbConfig) -> Self {
+        let top = Port::new(&sim.buffer_registry(), format!("{name}.TopPort"), cfg.top_buf);
+        L2Tlb {
+            base: CompBase::new("L2TLB", name),
+            top,
+            tlb: Tlb::new(cfg.entries),
+            page_table,
+            cfg,
+            pipeline: VecDeque::new(),
+            pending_up: None,
+            translations: 0,
+        }
+    }
+
+    /// TLB statistics `(hits, misses)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.tlb.hits(), self.tlb.misses())
+    }
+
+    fn respond(&mut self, ctx: &mut Ctx) -> bool {
+        let now = ctx.now();
+        let mut progress = false;
+        if let Some(msg) = self.pending_up.take() {
+            if let Err(msg) = self.top.send(ctx, msg) {
+                self.pending_up = Some(msg);
+                return false;
+            }
+            progress = true;
+        }
+        while self.pending_up.is_none() {
+            let Some(head) = self.pipeline.front() else {
+                break;
+            };
+            if head.ready > now {
+                let id = self.base.id;
+                let t = head.ready;
+                ctx.schedule_tick(id, t);
+                break;
+            }
+            let h = self.pipeline.pop_front().expect("front checked");
+            let rsp: Box<dyn Msg> =
+                Box::new(TranslationRsp::new(h.requester, h.respond_to, h.paddr));
+            if let Err(m) = self.top.send(ctx, rsp) {
+                self.pending_up = Some(m);
+            }
+            self.translations += 1;
+            progress = true;
+        }
+        progress
+    }
+
+    fn accept(&mut self, ctx: &mut Ctx) -> bool {
+        let now = ctx.now();
+        let mut progress = false;
+        for _ in 0..self.cfg.width {
+            let Some(msg) = self.top.retrieve(ctx) else {
+                break;
+            };
+            let req = (*msg)
+                .downcast_ref::<TranslationReq>()
+                .unwrap_or_else(|| panic!("L2TLB {}: unexpected message", self.name()));
+            let vpage = req.vaddr / self.page_table.page_size();
+            let latency = if self.tlb.access(vpage) {
+                self.cfg.hit_latency
+            } else {
+                self.tlb.insert(vpage);
+                self.cfg.walk_latency
+            };
+            let mut ready = now + self.base.freq.cycles(latency);
+            if let Some(last) = self.pipeline.back() {
+                ready = ready.max(last.ready);
+            }
+            self.pipeline.push_back(InFlight {
+                ready,
+                respond_to: req.meta.id,
+                requester: req.meta.src,
+                paddr: self.page_table.translate(req.vaddr),
+            });
+            progress = true;
+        }
+        progress
+    }
+}
+
+impl Component for L2Tlb {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx) -> bool {
+        let _prof = akita::profile::scope("L2Tlb::tick");
+        let mut progress = false;
+        progress |= self.respond(ctx);
+        progress |= self.accept(ctx);
+        progress
+    }
+
+    fn state(&self) -> ComponentState {
+        ComponentState::new()
+            .container("pipeline", self.pipeline.len(), None)
+            .field("tlb_hits", self.tlb.hits())
+            .field("tlb_misses", self.tlb.misses())
+            .field("translations", self.translations)
+    }
+}
+
+impl std::fmt::Debug for L2Tlb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "L2Tlb({} {} in pipeline)",
+            self.name(),
+            self.pipeline.len()
+        )
+    }
+}

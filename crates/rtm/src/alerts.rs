@@ -1,0 +1,287 @@
+//! Alerts: automated "fail early, fail fast".
+//!
+//! The paper's thesis is that architects waste days waiting on simulations
+//! that are already doomed — AkitaRTM lets them *notice* early. Alerts take
+//! the next step and notice *for* them: a rule watches one field of one
+//! component, and when the predicate holds for N consecutive samples the
+//! alert fires — recording the event and, optionally, pausing the
+//! simulation right there so the architect returns to a frozen crime scene
+//! instead of a finished-but-useless run.
+//!
+//! Example: "pause when `GPU[0].RDMA.transactions ≥ 1000` for 20 samples"
+//! would have caught Case Study 1 unattended.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use akita::{QueryClient, VTime};
+use serde::{Deserialize, Serialize};
+
+/// Identity of one alert rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AlertId(pub u64);
+
+/// The comparison an alert applies to each sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum AlertOp {
+    /// Fires while `value >= threshold`.
+    Gte,
+    /// Fires while `value <= threshold`.
+    Lte,
+}
+
+impl AlertOp {
+    fn holds(self, value: f64, threshold: f64) -> bool {
+        match self {
+            AlertOp::Gte => value >= threshold,
+            AlertOp::Lte => value <= threshold,
+        }
+    }
+}
+
+/// A watch-and-react rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertRule {
+    /// Component whose field is sampled.
+    pub component: String,
+    /// Field to sample (numeric or container size).
+    pub field: String,
+    /// Comparison against `threshold`.
+    pub op: AlertOp,
+    /// Threshold value.
+    pub threshold: f64,
+    /// Consecutive matching samples required before firing (debounce).
+    pub consecutive: u32,
+    /// Pause the simulation when the alert fires.
+    #[serde(default)]
+    pub pause: bool,
+}
+
+/// A fired alert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FiredAlert {
+    /// The rule that fired.
+    pub id: AlertId,
+    /// Virtual time at the firing sample.
+    pub sim_time: VTime,
+    /// The sampled value that completed the streak.
+    pub value: f64,
+    /// Whether the simulation was paused by this alert.
+    pub paused: bool,
+}
+
+/// One rule's live status.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertStatus {
+    /// Rule identity.
+    pub id: AlertId,
+    /// The rule.
+    pub rule: AlertRule,
+    /// Current consecutive-match streak.
+    pub streak: u32,
+    /// Set once the alert has fired.
+    pub fired: Option<FiredAlert>,
+}
+
+#[derive(Debug)]
+struct AlertState {
+    rule: AlertRule,
+    streak: u32,
+    fired: Option<FiredAlert>,
+}
+
+/// Evaluates alert rules against live component state.
+///
+/// Driven by the monitor's sampler thread via [`AlertEngine::evaluate`].
+#[derive(Debug, Default)]
+pub struct AlertEngine {
+    next_id: AtomicU64,
+    rules: Mutex<HashMap<AlertId, AlertState>>,
+}
+
+impl AlertEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        AlertEngine::default()
+    }
+
+    /// Installs a rule.
+    pub fn add(&self, rule: AlertRule) -> AlertId {
+        let id = AlertId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        self.rules
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(
+                id,
+                AlertState {
+                    rule,
+                    streak: 0,
+                    fired: None,
+                },
+            );
+        id
+    }
+
+    /// Removes a rule; returns whether it existed.
+    pub fn remove(&self, id: AlertId) -> bool {
+        self.rules
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id)
+            .is_some()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All rules' live status, sorted by id.
+    pub fn statuses(&self) -> Vec<AlertStatus> {
+        let rules = self.rules.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<AlertStatus> = rules
+            .iter()
+            .map(|(id, s)| AlertStatus {
+                id: *id,
+                rule: s.rule.clone(),
+                streak: s.streak,
+                fired: s.fired.clone(),
+            })
+            .collect();
+        out.sort_by_key(|s| s.id.0);
+        out
+    }
+
+    /// Feeds one observed sample into rule `id` directly (used by tests and
+    /// custom drivers). Returns a fired alert if the streak completed.
+    pub fn observe(&self, id: AlertId, sim_time: VTime, value: f64) -> Option<FiredAlert> {
+        let mut rules = self.rules.lock().unwrap_or_else(|e| e.into_inner());
+        let state = rules.get_mut(&id)?;
+        if state.fired.is_some() {
+            return None;
+        }
+        if state.rule.op.holds(value, state.rule.threshold) {
+            state.streak += 1;
+        } else {
+            state.streak = 0;
+        }
+        if state.streak >= state.rule.consecutive.max(1) {
+            let fired = FiredAlert {
+                id,
+                sim_time,
+                value,
+                paused: state.rule.pause,
+            };
+            state.fired = Some(fired.clone());
+            return Some(fired);
+        }
+        None
+    }
+
+    /// Samples every rule once through `client` and reacts (records the
+    /// firing; pauses the simulation when the rule asks). Returns the
+    /// alerts fired by this pass.
+    pub fn evaluate(&self, client: &QueryClient) -> Vec<FiredAlert> {
+        // Snapshot targets without holding the lock across queries.
+        let targets: Vec<(AlertId, String, String)> = {
+            let rules = self.rules.lock().unwrap_or_else(|e| e.into_inner());
+            rules
+                .iter()
+                .filter(|(_, s)| s.fired.is_none())
+                .map(|(id, s)| (*id, s.rule.component.clone(), s.rule.field.clone()))
+                .collect()
+        };
+        let mut fired = Vec::new();
+        for (id, component, field) in targets {
+            let Ok(Some(dto)) = client.component_state(&component) else {
+                continue;
+            };
+            let Some(value) = dto.state.numeric(&field) else {
+                continue;
+            };
+            if let Some(alert) = self.observe(id, client.now(), value) {
+                if alert.paused {
+                    client.pause();
+                }
+                fired.push(alert);
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(op: AlertOp, threshold: f64, consecutive: u32) -> AlertRule {
+        AlertRule {
+            component: "c".into(),
+            field: "f".into(),
+            op,
+            threshold,
+            consecutive,
+            pause: false,
+        }
+    }
+
+    #[test]
+    fn fires_after_consecutive_matches_only() {
+        let eng = AlertEngine::new();
+        let id = eng.add(rule(AlertOp::Gte, 10.0, 3));
+        assert!(eng.observe(id, VTime::from_ns(1), 12.0).is_none());
+        assert!(eng.observe(id, VTime::from_ns(2), 15.0).is_none());
+        // Streak broken: counter resets.
+        assert!(eng.observe(id, VTime::from_ns(3), 5.0).is_none());
+        assert!(eng.observe(id, VTime::from_ns(4), 11.0).is_none());
+        assert!(eng.observe(id, VTime::from_ns(5), 11.0).is_none());
+        let fired = eng.observe(id, VTime::from_ns(6), 11.0).expect("fires");
+        assert_eq!(fired.sim_time, VTime::from_ns(6));
+        assert_eq!(fired.value, 11.0);
+        // Fires once; later samples are ignored.
+        assert!(eng.observe(id, VTime::from_ns(7), 99.0).is_none());
+        let status = &eng.statuses()[0];
+        assert!(status.fired.is_some());
+    }
+
+    #[test]
+    fn lte_direction_works() {
+        let eng = AlertEngine::new();
+        let id = eng.add(rule(AlertOp::Lte, 1.0, 1));
+        assert!(eng.observe(id, VTime::ZERO, 2.0).is_none());
+        assert!(eng.observe(id, VTime::ZERO, 0.5).is_some());
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let eng = AlertEngine::new();
+        let id = eng.add(rule(AlertOp::Gte, 1.0, 1));
+        assert_eq!(eng.len(), 1);
+        assert!(eng.remove(id));
+        assert!(!eng.remove(id));
+        assert!(eng.is_empty());
+        assert!(eng.observe(id, VTime::ZERO, 5.0).is_none());
+    }
+
+    #[test]
+    fn rules_serialize() {
+        let r = rule(AlertOp::Gte, 1000.0, 20);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AlertRule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // `pause` defaults to false when omitted.
+        let parsed: AlertRule = serde_json::from_str(
+            r#"{"component":"GPU[0].RDMA","field":"transactions","op":"gte","threshold":1000.0,"consecutive":20}"#,
+        )
+        .unwrap();
+        assert!(!parsed.pause);
+    }
+}

@@ -1,0 +1,180 @@
+//! A minimal blocking HTTP/1.1 client.
+//!
+//! The Figure 7 overhead study needs to drive the *real* HTTP server the
+//! way a browser would (scenarios 3 and 4: passive refresh and simulated
+//! clicks). This tiny client — plain `TcpStream`, `Connection: close`,
+//! chunked-decoding — keeps that traffic on the exact production code path
+//! without pulling a full HTTP stack into the workspace.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A decoded HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code, e.g. 200.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Whether the status is 2xx.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Parses the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` errors for non-JSON bodies.
+    pub fn json(&self) -> serde_json::Result<serde_json::Value> {
+        serde_json::from_str(&self.body)
+    }
+}
+
+/// Issues a `GET` request.
+///
+/// # Errors
+///
+/// IO errors from connecting, writing, or reading; malformed responses
+/// surface as `InvalidData`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// Issues a `POST` request with an optional JSON body.
+///
+/// # Errors
+///
+/// IO errors from connecting, writing, or reading; malformed responses
+/// surface as `InvalidData`.
+pub fn post(addr: SocketAddr, path: &str, json_body: Option<&str>) -> std::io::Result<HttpResponse> {
+    request(addr, "POST", path, json_body)
+}
+
+/// Issues a `DELETE` request.
+///
+/// # Errors
+///
+/// IO errors from connecting, writing, or reading; malformed responses
+/// surface as `InvalidData`.
+pub fn delete(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "DELETE", path, None)
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    json_body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let body = json_body.unwrap_or("");
+    let content_headers = if json_body.is_some() {
+        format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            body.len()
+        )
+    } else {
+        "Content-Length: 0\r\n".to_owned()
+    };
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n{content_headers}\r\n{body}"
+    );
+    stream.write_all(req.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn invalid(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| invalid("missing header terminator"))?;
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or_else(|| invalid("empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("malformed status line"))?;
+    let chunked = lines.any(|l| {
+        let lower = l.to_ascii_lowercase();
+        lower.starts_with("transfer-encoding:") && lower.contains("chunked")
+    });
+    let body = if chunked {
+        decode_chunked(body)?
+    } else {
+        body.to_owned()
+    };
+    Ok(HttpResponse { status, body })
+}
+
+fn decode_chunked(raw: &str) -> std::io::Result<String> {
+    let mut out = String::new();
+    let mut rest = raw;
+    loop {
+        let (size_line, after) = rest
+            .split_once("\r\n")
+            .ok_or_else(|| invalid("truncated chunk header"))?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| invalid("bad chunk size"))?;
+        if size == 0 {
+            return Ok(out);
+        }
+        if after.len() < size {
+            return Err(invalid("truncated chunk body"));
+        }
+        out.push_str(&after[..size]);
+        rest = after[size..]
+            .strip_prefix("\r\n")
+            .ok_or_else(|| invalid("missing chunk terminator"))?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_content_length_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{}");
+        assert!(r.is_ok());
+        assert!(r.json().unwrap().is_object());
+    }
+
+    #[test]
+    fn parses_chunked_response() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.body, "hello world");
+    }
+
+    #[test]
+    fn error_status_is_not_ok() {
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 404);
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn malformed_responses_error() {
+        assert!(parse_response(b"garbage").is_err());
+        assert!(parse_response(b"HTTP/1.1 OK\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # akita-rtm — real-time monitoring for computer architecture simulations
+//!
+//! The Rust reproduction of **AkitaRTM** (MICRO 2024): an interactive,
+//! web-based tool that opens the "black box" of a running simulation. It
+//! supports the paper's five tasks:
+//!
+//! - **T1** progress prediction — progress bars ([`Monitor::progress`]) and
+//!   the live simulation clock ([`Monitor::now`]);
+//! - **T2** resource monitoring — per-process CPU/RSS ([`Monitor::resources`]);
+//! - **T3** hang debugging — buffer levels, run-state (`Idle` = quiesced),
+//!   per-component tick injection and kick-start;
+//! - **T4** simulator profiling — the intrusive scope profiler
+//!   ([`Monitor::profile`]);
+//! - **T5** hardware bottleneck analysis — the buffer analyzer
+//!   ([`Monitor::buffers`]) and field time-series ([`Monitor::watch`]).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use akita::{ProgressRegistry, Simulation};
+//! use akita_rtm::{Monitor, RtmServer};
+//!
+//! let sim = Simulation::new();
+//! // ... register components, build the platform ...
+//! let progress = ProgressRegistry::new();
+//! let monitor = Arc::new(Monitor::attach_default(&sim, progress));
+//! let server = RtmServer::start_local(Arc::clone(&monitor))?;
+//! println!("AkitaRTM listening on {}", server.url());
+//! // sim.run_interactive();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod alerts;
+pub mod client;
+mod monitor;
+mod resources;
+mod server;
+mod timeseries;
+
+pub use alerts::{AlertEngine, AlertId, AlertOp, AlertRule, AlertStatus, FiredAlert};
+pub use monitor::{sort_buffers, BufferSort, Monitor};
+pub use resources::{ResourceSampler, ResourceUsage};
+pub use server::{router, RtmServer, INDEX_HTML};
+pub use timeseries::{Point, Series, ValueMonitor, WatchId, MAX_POINTS};

@@ -1,0 +1,441 @@
+//! The `Monitor`: AkitaRTM's library API.
+//!
+//! This is the Rust rendering of the paper's Go API (§IV-B). The mapping:
+//!
+//! | Paper (Go)                     | Here                                   |
+//! |--------------------------------|----------------------------------------|
+//! | `RegisterEngine`               | [`Monitor::attach`] (grabs the engine's query client and control block) |
+//! | `RegisterComponent`            | automatic — every component registered with the [`Simulation`](akita::Simulation) is discoverable; [`Monitor::components`] lists them and [`Monitor::component_state`] serializes one on demand (the reflection substitute) |
+//! | `CreateProgressBar`            | [`Monitor::create_progress_bar`]       |
+//! | `UpdateProgressBar`            | [`Monitor::update_progress_bar`]       |
+//! | `DestroyProgressBar`           | [`Monitor::destroy_progress_bar`]      |
+//! | pause / continue               | [`Monitor::pause`] / [`Monitor::resume`] |
+//! | query simulation time          | [`Monitor::now`] (lock-free)           |
+//! | list buffer levels             | [`Monitor::buffers`]                   |
+//! | profile simulation             | [`Monitor::set_profiling`] / [`Monitor::profile`] |
+//! | tick component / kick start    | [`Monitor::tick_component`] / [`Monitor::kick_start`] |
+//! | resource utilization           | [`Monitor::resources`]                 |
+//! | value monitoring               | [`Monitor::watch`] / [`Monitor::series`] |
+//!
+//! The monitor is `Send + Sync`: the HTTP server shares one instance across
+//! request handlers, on a thread separate from the simulation (§VII design
+//! choice 3).
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use akita::{
+    BufferSnapshot, ComponentInfo, ComponentStateDto, EngineStatus, ProfileReport, ProgressBarId,
+    ProgressRegistry, ProgressSnapshot, QueryClient, QueryError, RunState, Simulation,
+    TopologyEdge, TraceRecord, VTime,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::alerts::{AlertEngine, AlertId, AlertRule, AlertStatus};
+use crate::resources::{ResourceSampler, ResourceUsage};
+use crate::timeseries::{Series, ValueMonitor, WatchId};
+
+/// How to order the buffer analyzer table (paper Fig 3: "Sort by: Size |
+/// Percent").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum BufferSort {
+    /// By element count, descending.
+    Size,
+    /// By fill ratio, descending.
+    Percent,
+}
+
+/// A monitor attached to a running simulation.
+pub struct Monitor {
+    client: QueryClient,
+    progress: ProgressRegistry,
+    resources: ResourceSampler,
+    values: Arc<ValueMonitor>,
+    alerts: Arc<AlertEngine>,
+    /// Dropping this wakes and stops the sampler thread immediately.
+    sampler_stop: Option<mpsc::Sender<()>>,
+    sampler: Option<JoinHandle<()>>,
+}
+
+impl Monitor {
+    /// Attaches a monitor to `sim` before it starts running, sharing
+    /// `progress` with the simulation side (dispatcher/driver bars).
+    ///
+    /// Starts a background sampler thread that feeds active value watches
+    /// every `sample_interval`.
+    pub fn attach(sim: &Simulation, progress: ProgressRegistry, sample_interval: Duration) -> Self {
+        let client = sim.client();
+        let values = Arc::new(ValueMonitor::new());
+        let alerts = Arc::new(AlertEngine::new());
+        let (stop_tx, stop_rx) = mpsc::channel::<()>();
+        let sampler = {
+            let client = client.clone();
+            let values = Arc::clone(&values);
+            let alerts = Arc::clone(&alerts);
+            std::thread::Builder::new()
+                .name("rtm-value-sampler".into())
+                .spawn(move || loop {
+                    // The sleep doubles as the stop signal: dropping the
+                    // sender ends the thread without waiting out the
+                    // interval.
+                    match stop_rx.recv_timeout(sample_interval) {
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if !values.is_empty() {
+                                let _ = values.sample_all(&client);
+                            }
+                            if !alerts.is_empty() {
+                                let _ = alerts.evaluate(&client);
+                            }
+                        }
+                        Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                })
+                .expect("spawn sampler thread")
+        };
+        Monitor {
+            client,
+            progress,
+            resources: ResourceSampler::new(),
+            values,
+            alerts,
+            sampler_stop: Some(stop_tx),
+            sampler: Some(sampler),
+        }
+    }
+
+    /// Attaches with the default 100 ms sampling interval.
+    pub fn attach_default(sim: &Simulation, progress: ProgressRegistry) -> Self {
+        Monitor::attach(sim, progress, Duration::from_millis(100))
+    }
+
+    // --- Simulation controls (Fig 2 C) -------------------------------
+
+    /// Pauses the simulation at the next event boundary.
+    pub fn pause(&self) {
+        self.client.pause();
+    }
+
+    /// Resumes a paused simulation.
+    pub fn resume(&self) {
+        self.client.resume();
+    }
+
+    /// Current virtual time, lock-free.
+    pub fn now(&self) -> VTime {
+        self.client.now()
+    }
+
+    /// Current run state, lock-free.
+    pub fn run_state(&self) -> RunState {
+        self.client.run_state()
+    }
+
+    /// Engine status (round-trips to the engine).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn status(&self) -> Result<EngineStatus, QueryError> {
+        self.client.status()
+    }
+
+    /// Ends an interactive run.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Disconnected`] when the simulation is gone.
+    pub fn terminate(&self) -> Result<(), QueryError> {
+        self.client.terminate()
+    }
+
+    // --- Component inspection (Fig 2 D) -------------------------------
+
+    /// Every registered component (flat; the hierarchy is in the names).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn components(&self) -> Result<Vec<ComponentInfo>, QueryError> {
+        self.client.components()
+    }
+
+    /// Serializes one component's state (fine-grained, on demand — §VII).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn component_state(&self, name: &str) -> Result<Option<ComponentStateDto>, QueryError> {
+        self.client.component_state(name)
+    }
+
+    /// The wiring map: which ports attach to which connections — the
+    /// "map of how components are connected" the paper lists as a planned
+    /// usability improvement (§VIII).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn topology(&self) -> Result<Vec<TopologyEdge>, QueryError> {
+        self.client.topology()
+    }
+
+    // --- Hang debugging (Case Study 2) --------------------------------
+
+    /// Schedules a tick for a sleeping component (the "Tick" button).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn tick_component(&self, name: &str) -> Result<bool, QueryError> {
+        self.client.tick_component(name)
+    }
+
+    /// Wakes every component (the "Kick Start" button).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn kick_start(&self) -> Result<usize, QueryError> {
+        self.client.kick_start()
+    }
+
+    /// Schedules a custom event for a component — the "Schedule" button
+    /// the paper proposes for event-driven simulators (§V-B).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn schedule_custom(&self, name: &str, code: u64) -> Result<bool, QueryError> {
+        self.client.schedule_custom(name, code)
+    }
+
+    /// Turns the recent-event trace ring on or off.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Disconnected`] when the simulation is gone.
+    pub fn set_tracing(&self, on: bool) -> Result<(), QueryError> {
+        self.client.set_tracing(on)
+    }
+
+    /// The most recent `n` dispatched events (empty unless tracing is on) —
+    /// which component ran, when, and why, for fine-grained hang forensics.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn trace(&self, n: usize) -> Result<Vec<TraceRecord>, QueryError> {
+        self.client.trace(n)
+    }
+
+    // --- Buffer analyzer (Fig 3) ---------------------------------------
+
+    /// Snapshot of every live buffer, sorted per `sort`, truncated to
+    /// `top` entries when given.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn buffers(
+        &self,
+        sort: BufferSort,
+        top: Option<usize>,
+    ) -> Result<Vec<BufferSnapshot>, QueryError> {
+        let mut buffers = self.client.buffers()?;
+        sort_buffers(&mut buffers, sort);
+        if let Some(n) = top {
+            buffers.truncate(n);
+        }
+        Ok(buffers)
+    }
+
+    // --- Progress bars (Fig 2 G) ---------------------------------------
+
+    /// Creates a bar tracking `total` tasks.
+    pub fn create_progress_bar(&self, name: impl Into<String>, total: u64) -> ProgressBarId {
+        self.progress.create_bar(name, total)
+    }
+
+    /// Updates a bar's finished and in-progress counts.
+    pub fn update_progress_bar(&self, id: ProgressBarId, finished: u64, in_progress: u64) {
+        self.progress.update(id, finished, in_progress);
+    }
+
+    /// Removes a bar.
+    pub fn destroy_progress_bar(&self, id: ProgressBarId) {
+        self.progress.destroy(id);
+    }
+
+    /// All live bars.
+    pub fn progress(&self) -> Vec<ProgressSnapshot> {
+        self.progress.snapshot()
+    }
+
+    // --- Simulator profiling (Fig 2 E) ----------------------------------
+
+    /// Turns the simulator's scope profiler on or off.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Disconnected`] when the simulation is gone.
+    pub fn set_profiling(&self, on: bool) -> Result<(), QueryError> {
+        self.client.set_profiling(on)
+    }
+
+    /// The current profile, truncated to the `top` hottest scopes.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn profile(&self, top: usize) -> Result<ProfileReport, QueryError> {
+        Ok(self.client.profile()?.top_n(top))
+    }
+
+    // --- Resource monitoring (Fig 2 A) -----------------------------------
+
+    /// CPU/memory usage of the simulator process.
+    pub fn resources(&self) -> ResourceUsage {
+        self.resources.sample()
+    }
+
+    // --- Value monitoring (Fig 2 F) --------------------------------------
+
+    /// Starts a time-series watch on `field` of `component` (the flag
+    /// icon). The sampler thread records up to 300 points.
+    pub fn watch(&self, component: &str, field: &str) -> WatchId {
+        self.values.watch(component, field)
+    }
+
+    /// Stops a watch.
+    pub fn unwatch(&self, id: WatchId) -> bool {
+        self.values.unwatch(id)
+    }
+
+    /// A watch's current series.
+    pub fn series(&self, id: WatchId) -> Option<Series> {
+        self.values.series(id)
+    }
+
+    /// Every active watch's series.
+    pub fn all_series(&self) -> Vec<Series> {
+        self.values.all_series()
+    }
+
+    /// Forces one synchronous sampling pass over all watches (useful for
+    /// deterministic tests and harnesses; the background thread does this
+    /// continuously).
+    pub fn sample_watches_now(&self) -> usize {
+        self.values.sample_all(&self.client)
+    }
+
+    // --- Alerts: automated "fail early, fail fast" -----------------------
+
+    /// Installs an alert rule; the sampler thread evaluates it every
+    /// interval, records the firing, and pauses the simulation when the
+    /// rule asks.
+    pub fn add_alert(&self, rule: AlertRule) -> AlertId {
+        self.alerts.add(rule)
+    }
+
+    /// Removes an alert rule.
+    pub fn remove_alert(&self, id: AlertId) -> bool {
+        self.alerts.remove(id)
+    }
+
+    /// Every alert's live status (streak, fired record).
+    pub fn alerts(&self) -> Vec<AlertStatus> {
+        self.alerts.statuses()
+    }
+
+    /// Forces one synchronous alert-evaluation pass (deterministic tests).
+    pub fn evaluate_alerts_now(&self) -> Vec<crate::FiredAlert> {
+        self.alerts.evaluate(&self.client)
+    }
+
+    /// The underlying query client (for advanced integrations).
+    pub fn client(&self) -> &QueryClient {
+        &self.client
+    }
+}
+
+impl Drop for Monitor {
+    fn drop(&mut self) {
+        drop(self.sampler_stop.take());
+        if let Some(h) = self.sampler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Monitor(state {:?}, {} watches, {} bars)",
+            self.run_state(),
+            self.values.len(),
+            self.progress.len()
+        )
+    }
+}
+
+/// Sorts a buffer table like the paper's analyzer panel.
+pub fn sort_buffers(buffers: &mut [BufferSnapshot], sort: BufferSort) {
+    match sort {
+        BufferSort::Size => buffers.sort_by(|a, b| {
+            b.size
+                .cmp(&a.size)
+                .then_with(|| {
+                    b.percent()
+                        .partial_cmp(&a.percent())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then_with(|| a.name.cmp(&b.name))
+        }),
+        BufferSort::Percent => buffers.sort_by(|a, b| {
+            b.percent()
+                .partial_cmp(&a.percent())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.size.cmp(&a.size))
+                .then_with(|| a.name.cmp(&b.name))
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(name: &str, size: usize, capacity: usize) -> BufferSnapshot {
+        BufferSnapshot {
+            name: name.into(),
+            size,
+            capacity,
+        }
+    }
+
+    #[test]
+    fn sort_by_size_descends() {
+        let mut b = vec![snap("a", 2, 8), snap("b", 8, 8), snap("c", 4, 4)];
+        sort_buffers(&mut b, BufferSort::Size);
+        let names: Vec<_> = b.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["b", "c", "a"]);
+    }
+
+    #[test]
+    fn sort_by_percent_prefers_full_small_buffers() {
+        let mut b = vec![snap("big", 8, 32), snap("small", 4, 4)];
+        sort_buffers(&mut b, BufferSort::Percent);
+        assert_eq!(b[0].name, "small");
+    }
+
+    #[test]
+    fn equal_keys_tie_break_by_name_for_determinism() {
+        let mut b = vec![snap("z", 4, 8), snap("a", 4, 8)];
+        sort_buffers(&mut b, BufferSort::Size);
+        assert_eq!(b[0].name, "a");
+    }
+}

@@ -1,0 +1,179 @@
+//! Process resource monitoring (paper task T2, Fig 2 A).
+//!
+//! Architects habitually watch `top` to judge simulation health: CPU near
+//! 100% means the simulation is crunching; a sudden drop signals a hang or
+//! IO blocking; RSS near physical memory predicts thrashing. AkitaRTM shows
+//! this per-simulation, in the dashboard. We sample `/proc/self/stat` on
+//! Linux (the platform simulations run on) and degrade gracefully
+//! elsewhere.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time view of the simulator process's resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// CPU utilization since the previous sample, in percent of one core
+    /// (can exceed 100 on multithreaded phases).
+    pub cpu_percent: f64,
+    /// Resident set size, bytes.
+    pub rss_bytes: u64,
+    /// Virtual memory size, bytes.
+    pub vsize_bytes: u64,
+    /// OS threads in the process.
+    pub num_threads: u32,
+    /// Whether the numbers are real (`/proc` available) or zeros.
+    pub supported: bool,
+}
+
+impl Default for ResourceUsage {
+    fn default() -> Self {
+        ResourceUsage {
+            cpu_percent: 0.0,
+            rss_bytes: 0,
+            vsize_bytes: 0,
+            num_threads: 0,
+            supported: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RawSample {
+    cpu_ticks: u64,
+    rss_bytes: u64,
+    vsize_bytes: u64,
+    num_threads: u32,
+    at: Instant,
+}
+
+/// Samples the current process's CPU and memory usage.
+///
+/// CPU percent is computed from the tick delta between consecutive
+/// [`ResourceSampler::sample`] calls, like `top` does.
+#[derive(Debug)]
+pub struct ResourceSampler {
+    last: Mutex<Option<RawSample>>,
+    ticks_per_sec: f64,
+    page_size: u64,
+}
+
+impl Default for ResourceSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResourceSampler {
+    /// Creates a sampler.
+    pub fn new() -> Self {
+        ResourceSampler {
+            last: Mutex::new(None),
+            // _SC_CLK_TCK is 100 on every mainstream Linux; hardcoding
+            // avoids a libc dependency.
+            ticks_per_sec: 100.0,
+            page_size: 4096,
+        }
+    }
+
+    fn read_raw(&self) -> Option<RawSample> {
+        let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+        // Field 2 (comm) may contain spaces; skip past the closing paren.
+        let rest = stat.rsplit_once(") ")?.1;
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        // After `comm`, fields are 1-indexed from "state": utime is field
+        // 12, stime 13, num_threads 18, vsize 21, rss 22 (0-indexed 11, 12,
+        // 17, 20, 21 in `fields`).
+        let utime: u64 = fields.get(11)?.parse().ok()?;
+        let stime: u64 = fields.get(12)?.parse().ok()?;
+        let num_threads: u32 = fields.get(17)?.parse().ok()?;
+        let vsize_bytes: u64 = fields.get(20)?.parse().ok()?;
+        let rss_pages: u64 = fields.get(21)?.parse().ok()?;
+        Some(RawSample {
+            cpu_ticks: utime + stime,
+            rss_bytes: rss_pages * self.page_size,
+            vsize_bytes,
+            num_threads,
+            at: Instant::now(),
+        })
+    }
+
+    /// Takes a sample; the first call reports 0% CPU (no delta yet).
+    pub fn sample(&self) -> ResourceUsage {
+        let Some(raw) = self.read_raw() else {
+            return ResourceUsage::default();
+        };
+        let mut last = self.last.lock().unwrap_or_else(|e| e.into_inner());
+        let cpu_percent = match *last {
+            Some(prev) => {
+                let wall = raw.at.duration_since(prev.at).as_secs_f64();
+                if wall <= 0.0 {
+                    0.0
+                } else {
+                    let cpu_sec =
+                        raw.cpu_ticks.saturating_sub(prev.cpu_ticks) as f64 / self.ticks_per_sec;
+                    (cpu_sec / wall * 100.0).max(0.0)
+                }
+            }
+            None => 0.0,
+        };
+        *last = Some(raw);
+        ResourceUsage {
+            cpu_percent,
+            rss_bytes: raw.rss_bytes,
+            vsize_bytes: raw.vsize_bytes,
+            num_threads: raw.num_threads,
+            supported: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_on_linux_reports_real_numbers() {
+        let sampler = ResourceSampler::new();
+        let first = sampler.sample();
+        if !first.supported {
+            // Not on Linux: the graceful-degradation path is the test.
+            assert_eq!(first, ResourceUsage::default());
+            return;
+        }
+        assert!(first.rss_bytes > 0, "a running process has resident pages");
+        assert!(first.num_threads >= 1);
+        assert_eq!(first.cpu_percent, 0.0, "first sample has no delta");
+    }
+
+    #[test]
+    fn cpu_percent_rises_under_load() {
+        let sampler = ResourceSampler::new();
+        if !sampler.sample().supported {
+            return;
+        }
+        // Burn CPU for a bit.
+        let start = Instant::now();
+        let mut x = 0u64;
+        while start.elapsed().as_millis() < 120 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        std::hint::black_box(x);
+        let second = sampler.sample();
+        assert!(
+            second.cpu_percent > 10.0,
+            "busy loop must show up: {}%",
+            second.cpu_percent
+        );
+    }
+
+    #[test]
+    fn usage_serializes() {
+        let u = ResourceUsage::default();
+        let json = serde_json::to_string(&u).unwrap();
+        let back: ResourceUsage = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, u);
+    }
+}

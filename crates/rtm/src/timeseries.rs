@@ -1,0 +1,231 @@
+//! Simulation value monitoring over time (paper §IV-C, Fig 2 F / Fig 5).
+//!
+//! A *watch* samples one field of one component periodically and keeps the
+//! most recent 300 points ("we designed it to keep only the most recent
+//! 300 data points, considering that the client's memory is usually
+//! limited"). Numeric fields plot their value; containers plot their size.
+//! This is how Case Study 1 sees the ROB's buffer pinned at 8, the address
+//! translator's spikes draining, the L1 maxed at its MSHR limit, and the
+//! RDMA's ~1000 in-flight transactions.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use akita::{QueryClient, VTime};
+use serde::{Deserialize, Serialize};
+
+/// Maximum points retained per watch (paper: 300).
+pub const MAX_POINTS: usize = 300;
+
+/// Identity of one watch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct WatchId(pub u64);
+
+/// One sampled point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Virtual time of the sample.
+    pub sim_time: VTime,
+    /// Sampled value (numeric value or container size).
+    pub value: f64,
+}
+
+/// A watch's current series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Watch identity.
+    pub id: WatchId,
+    /// Component being watched.
+    pub component: String,
+    /// Field being watched.
+    pub field: String,
+    /// Most recent points, oldest first (≤ [`MAX_POINTS`]).
+    pub points: Vec<Point>,
+}
+
+#[derive(Debug)]
+struct WatchState {
+    component: String,
+    field: String,
+    ring: VecDeque<Point>,
+}
+
+/// A set of field watches with bounded history.
+///
+/// Sampling is driven externally (the monitor's sampler thread calls
+/// [`ValueMonitor::sample_all`]); this keeps the type synchronous and
+/// testable.
+#[derive(Debug, Default)]
+pub struct ValueMonitor {
+    next_id: AtomicU64,
+    watches: Mutex<HashMap<WatchId, WatchState>>,
+}
+
+impl ValueMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        ValueMonitor::default()
+    }
+
+    /// Starts watching `field` of `component`.
+    pub fn watch(&self, component: impl Into<String>, field: impl Into<String>) -> WatchId {
+        let id = WatchId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        self.watches
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(
+                id,
+                WatchState {
+                    component: component.into(),
+                    field: field.into(),
+                    ring: VecDeque::with_capacity(MAX_POINTS),
+                },
+            );
+        id
+    }
+
+    /// Stops a watch; returns whether it existed.
+    pub fn unwatch(&self, id: WatchId) -> bool {
+        self.watches
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id)
+            .is_some()
+    }
+
+    /// Active watch count.
+    pub fn len(&self) -> usize {
+        self.watches.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no watches are active.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records one point for `id` directly (used by tests and by callers
+    /// that sample on their own schedule).
+    pub fn record(&self, id: WatchId, sim_time: VTime, value: f64) {
+        let mut watches = self.watches.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(w) = watches.get_mut(&id) {
+            if w.ring.len() >= MAX_POINTS {
+                w.ring.pop_front();
+            }
+            w.ring.push_back(Point { sim_time, value });
+        }
+    }
+
+    /// Samples every watch once through `client`. Unknown components or
+    /// non-numeric fields record nothing. Returns sampled watch count.
+    pub fn sample_all(&self, client: &QueryClient) -> usize {
+        // Snapshot the target list without holding the lock across queries.
+        let targets: Vec<(WatchId, String, String)> = {
+            let watches = self.watches.lock().unwrap_or_else(|e| e.into_inner());
+            watches
+                .iter()
+                .map(|(id, w)| (*id, w.component.clone(), w.field.clone()))
+                .collect()
+        };
+        let mut sampled = 0;
+        for (id, component, field) in targets {
+            let Ok(Some(dto)) = client.component_state(&component) else {
+                continue;
+            };
+            if let Some(value) = dto.state.numeric(&field) {
+                self.record(id, client.now(), value);
+                sampled += 1;
+            }
+        }
+        sampled
+    }
+
+    /// The current series of watch `id`.
+    pub fn series(&self, id: WatchId) -> Option<Series> {
+        let watches = self.watches.lock().unwrap_or_else(|e| e.into_inner());
+        watches.get(&id).map(|w| Series {
+            id,
+            component: w.component.clone(),
+            field: w.field.clone(),
+            points: w.ring.iter().copied().collect(),
+        })
+    }
+
+    /// All current series.
+    pub fn all_series(&self) -> Vec<Series> {
+        let watches = self.watches.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<Series> = watches
+            .iter()
+            .map(|(id, w)| Series {
+                id: *id,
+                component: w.component.clone(),
+                field: w.field.clone(),
+                points: w.ring.iter().copied().collect(),
+            })
+            .collect();
+        out.sort_by_key(|s| s.id.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watch_records_and_reports() {
+        let vm = ValueMonitor::new();
+        let id = vm.watch("GPU[0].L1", "transactions");
+        vm.record(id, VTime::from_ns(1), 4.0);
+        vm.record(id, VTime::from_ns(2), 5.0);
+        let s = vm.series(id).unwrap();
+        assert_eq!(s.component, "GPU[0].L1");
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.points[1].value, 5.0);
+    }
+
+    #[test]
+    fn ring_keeps_only_the_latest_300_points() {
+        let vm = ValueMonitor::new();
+        let id = vm.watch("c", "f");
+        for i in 0..400u64 {
+            vm.record(id, VTime::from_ns(i), i as f64);
+        }
+        let s = vm.series(id).unwrap();
+        assert_eq!(s.points.len(), MAX_POINTS);
+        assert_eq!(s.points[0].value, 100.0, "oldest 100 dropped");
+        assert_eq!(s.points.last().unwrap().value, 399.0);
+    }
+
+    #[test]
+    fn unwatch_removes_series() {
+        let vm = ValueMonitor::new();
+        let id = vm.watch("c", "f");
+        assert!(vm.unwatch(id));
+        assert!(!vm.unwatch(id));
+        assert!(vm.series(id).is_none());
+        assert!(vm.is_empty());
+    }
+
+    #[test]
+    fn record_on_dead_watch_is_ignored() {
+        let vm = ValueMonitor::new();
+        let id = vm.watch("c", "f");
+        vm.unwatch(id);
+        vm.record(id, VTime::ZERO, 1.0); // must not panic or resurrect
+        assert!(vm.series(id).is_none());
+    }
+
+    #[test]
+    fn all_series_sorted_by_id() {
+        let vm = ValueMonitor::new();
+        let a = vm.watch("a", "f");
+        let b = vm.watch("b", "f");
+        let all = vm.all_series();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].id, a);
+        assert_eq!(all[1].id, b);
+    }
+}

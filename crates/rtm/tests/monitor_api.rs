@@ -1,0 +1,184 @@
+//! Tests for the Monitor's library API (the paper's Go-API equivalent),
+//! against a minimal hand-built simulation — no GPU, no HTTP.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use akita::{
+    CompBase, Component, ComponentState, Ctx, ProgressRegistry, RunState, Simulation, VTime,
+};
+use akita_rtm::{BufferSort, Monitor};
+
+/// A counter that runs forever, exposing its count.
+struct Counter {
+    base: CompBase,
+    n: u64,
+}
+
+impl Component for Counter {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+    fn tick(&mut self, _ctx: &mut Ctx) -> bool {
+        self.n += 1;
+        true
+    }
+    fn state(&self) -> ComponentState {
+        ComponentState::new().field("n", self.n)
+    }
+}
+
+/// Builds a sim with one eternal counter, attaches a monitor, returns the
+/// monitor plus a handle that stops the sim when dropped.
+fn launch() -> (Arc<Monitor>, thread::JoinHandle<()>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = thread::spawn(move || {
+        let mut sim = Simulation::new();
+        let progress = ProgressRegistry::new();
+        let (id, _) = sim.register(Counter {
+            base: CompBase::new("Counter", "C0"),
+            n: 0,
+        });
+        sim.wake_at(id, VTime::ZERO);
+        let monitor = Arc::new(Monitor::attach(
+            &sim,
+            progress,
+            Duration::from_millis(5),
+        ));
+        tx.send(Arc::clone(&monitor)).expect("hand monitor back");
+        sim.run();
+    });
+    (rx.recv().expect("monitor"), handle)
+}
+
+#[test]
+fn monitor_reads_live_state_and_stops_the_sim() {
+    let (monitor, handle) = launch();
+    // Status round-trips.
+    let status = monitor.status().expect("status");
+    assert_eq!(status.components, 1);
+    // Component discovery and fine-grained state.
+    let comps = monitor.components().expect("components");
+    assert_eq!(comps[0].name, "C0");
+    let dto = monitor
+        .component_state("C0")
+        .expect("query")
+        .expect("exists");
+    assert!(dto.state.numeric("n").expect("n is numeric") >= 0.0);
+    // Stop via the control block.
+    monitor.client().request_stop();
+    handle.join().unwrap();
+    assert_eq!(monitor.run_state(), RunState::Finished);
+}
+
+#[test]
+fn watches_sample_through_the_background_thread() {
+    let (monitor, handle) = launch();
+    let id = monitor.watch("C0", "n");
+    thread::sleep(Duration::from_millis(100));
+    let series = monitor.series(id).expect("series");
+    assert!(
+        series.points.len() >= 3,
+        "5 ms sampler should collect plenty in 100 ms, got {}",
+        series.points.len()
+    );
+    // The counter increases monotonically, so samples must too.
+    let values: Vec<f64> = series.points.iter().map(|p| p.value).collect();
+    assert!(values.windows(2).all(|w| w[0] <= w[1]));
+    assert!(monitor.unwatch(id));
+    monitor.client().request_stop();
+    handle.join().unwrap();
+}
+
+#[test]
+fn progress_bar_api_matches_the_papers_three_calls() {
+    let (monitor, handle) = launch();
+    let bar = monitor.create_progress_bar("algorithm iterations", 50);
+    monitor.update_progress_bar(bar, 20, 5);
+    let snap = monitor.progress();
+    let b = snap.iter().find(|b| b.id == bar).expect("bar exists");
+    assert_eq!((b.finished, b.in_progress, b.not_started()), (20, 5, 25));
+    monitor.destroy_progress_bar(bar);
+    assert!(monitor.progress().iter().all(|b| b.id != bar));
+    monitor.client().request_stop();
+    handle.join().unwrap();
+}
+
+#[test]
+fn pause_resume_via_monitor() {
+    let (monitor, handle) = launch();
+    monitor.pause();
+    for _ in 0..500 {
+        if monitor.run_state() == RunState::Paused {
+            break;
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(monitor.run_state(), RunState::Paused);
+    let t = monitor.now();
+    thread::sleep(Duration::from_millis(20));
+    assert_eq!(monitor.now(), t);
+    monitor.resume();
+    monitor.client().request_stop();
+    handle.join().unwrap();
+}
+
+#[test]
+fn buffers_empty_sim_yields_empty_table() {
+    let (monitor, handle) = launch();
+    // The counter sim registers no ports/buffers.
+    let buffers = monitor.buffers(BufferSort::Percent, Some(10)).expect("buffers");
+    assert!(buffers.is_empty());
+    monitor.client().request_stop();
+    handle.join().unwrap();
+}
+
+#[test]
+fn profiling_round_trip_via_monitor() {
+    let (monitor, handle) = launch();
+    monitor.set_profiling(true).expect("enable");
+    thread::sleep(Duration::from_millis(50));
+    let report = monitor.profile(5).expect("profile");
+    assert!(report.nodes.iter().any(|n| n.name == "Counter"));
+    monitor.set_profiling(false).expect("disable");
+    monitor.client().request_stop();
+    handle.join().unwrap();
+    akita::profile::set_enabled(false);
+}
+
+#[test]
+fn alerts_fire_and_pause_through_the_monitor_api() {
+    use akita_rtm::{AlertOp, AlertRule};
+    let (monitor, handle) = launch();
+    let id = monitor.add_alert(AlertRule {
+        component: "C0".into(),
+        field: "n".into(),
+        op: AlertOp::Gte,
+        threshold: 10.0,
+        consecutive: 2,
+        pause: true,
+    });
+    // The counter grows every cycle; the 5 ms sampler needs two samples
+    // past the threshold before pausing.
+    let mut paused = false;
+    for _ in 0..600 {
+        if monitor.run_state() == RunState::Paused {
+            paused = true;
+            break;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert!(paused, "alert must pause the simulation");
+    let statuses = monitor.alerts();
+    let fired = statuses[0].fired.as_ref().expect("alert fired");
+    assert!(fired.value >= 10.0);
+    assert!(fired.paused);
+    assert!(monitor.remove_alert(id));
+    monitor.resume();
+    monitor.client().request_stop();
+    handle.join().unwrap();
+}

@@ -1,0 +1,140 @@
+//! AES-256 ECB encryption — the compute-bound end of the MGPUSim suite.
+//!
+//! Each work item encrypts one 16-byte block: a small coalesced load, many
+//! rounds of table lookups and arithmetic, a small coalesced store. The
+//! round-key and S-box tables are shared and cache-resident, so the kernel
+//! stresses compute throughput rather than the memory system.
+
+use std::rc::Rc;
+
+use akita_gpu::kernel::{Inst, Kernel, WavefrontProgram, WorkGroupSpec};
+use akita_gpu::Driver;
+use akita_mem::Addr;
+
+use crate::util::{load_region, store_region, WAVEFRONT};
+use crate::Workload;
+
+/// AES configuration.
+#[derive(Debug, Clone)]
+pub struct Aes {
+    /// Number of 16-byte blocks to encrypt.
+    pub blocks: u64,
+    /// Encryption rounds (AES-256: 14).
+    pub rounds: u32,
+    /// Cycles of table lookups and arithmetic per round per wavefront.
+    pub cycles_per_round: u32,
+}
+
+impl Default for Aes {
+    fn default() -> Self {
+        Aes {
+            blocks: 16 * 1024,
+            rounds: 14,
+            cycles_per_round: 8,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct AesKernel {
+    cfg: Aes,
+    input: Addr,
+    output: Addr,
+    tables: Addr,
+}
+
+impl Kernel for AesKernel {
+    fn name(&self) -> &str {
+        "aes"
+    }
+
+    fn num_workgroups(&self) -> u64 {
+        self.cfg.blocks.div_ceil(256)
+    }
+
+    fn workgroup(&self, idx: u64) -> WorkGroupSpec {
+        let mut wavefronts = Vec::new();
+        for wf in 0..4u64 {
+            let b0 = idx * 256 + wf * WAVEFRONT;
+            if b0 >= self.cfg.blocks {
+                break;
+            }
+            let lanes = WAVEFRONT.min(self.cfg.blocks - b0);
+            let mut insts = Vec::new();
+            // S-box + round keys: shared tables, hot after the first WG.
+            load_region(&mut insts, self.tables, 1024);
+            // One 16-byte block per lane, coalesced.
+            load_region(&mut insts, self.input + b0 * 16, lanes * 16);
+            for _ in 0..self.cfg.rounds {
+                insts.push(Inst::Compute(self.cfg.cycles_per_round));
+            }
+            store_region(&mut insts, self.output + b0 * 16, lanes * 16);
+            wavefronts.push(WavefrontProgram::new(insts));
+        }
+        WorkGroupSpec { wavefronts }
+    }
+}
+
+impl Workload for Aes {
+    fn name(&self) -> &'static str {
+        "aes"
+    }
+
+    fn enqueue(&self, driver: &mut Driver) {
+        let bytes = self.blocks * 16;
+        let input = driver.alloc(bytes);
+        let output = driver.alloc(bytes);
+        let tables = driver.alloc(4096);
+        driver.enqueue_memcpy("aes plaintext+keys", bytes + 4096);
+        driver.enqueue_kernel(Rc::new(AesKernel {
+            cfg: self.clone(),
+            input,
+            output,
+            tables,
+        }));
+        driver.enqueue_memcpy("aes ciphertext", bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_dominates_the_trace() {
+        let k = AesKernel {
+            cfg: Aes::default(),
+            input: 0,
+            output: 0x100_0000,
+            tables: 0x200_0000,
+        };
+        let wg = k.workgroup(0);
+        let prog = &wg.wavefronts[0];
+        let compute_cycles: u32 = prog
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::Compute(c) => Some(*c),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(compute_cycles, 14 * 8);
+        // ~16 lines of block I/O + tables vs 112 compute cycles.
+        assert!(compute_cycles as usize > prog.mem_insts());
+    }
+
+    #[test]
+    fn partial_tail_workgroup() {
+        let k = AesKernel {
+            cfg: Aes {
+                blocks: 300,
+                ..Aes::default()
+            },
+            input: 0,
+            output: 0x100_0000,
+            tables: 0x200_0000,
+        };
+        assert_eq!(k.num_workgroups(), 2);
+        assert_eq!(k.workgroup(1).wavefronts.len(), 1, "300-256=44 lanes");
+    }
+}

@@ -1,0 +1,154 @@
+//! Bitonic sort: a sequence of compare-exchange kernel passes, exercising
+//! the driver's multi-kernel launch path (one launch per `(k, j)` stage).
+
+use std::rc::Rc;
+
+use akita_gpu::kernel::{Inst, Kernel, WavefrontProgram, WorkGroupSpec};
+use akita_gpu::Driver;
+use akita_mem::Addr;
+
+use crate::util::{load_region, store_region, WAVEFRONT};
+use crate::Workload;
+
+/// Bitonic sort configuration.
+#[derive(Debug, Clone)]
+pub struct BitonicSort {
+    /// Element count; must be a power of two.
+    pub n: u64,
+}
+
+impl Default for BitonicSort {
+    fn default() -> Self {
+        BitonicSort { n: 4096 }
+    }
+}
+
+impl BitonicSort {
+    /// Number of compare-exchange passes: log₂n × (log₂n + 1) / 2.
+    pub fn passes(&self) -> u64 {
+        let stages = self.n.trailing_zeros() as u64;
+        stages * (stages + 1) / 2
+    }
+}
+
+#[derive(Debug)]
+struct BitonicPass {
+    n: u64,
+    /// Partner distance for this pass.
+    j: u64,
+    data: Addr,
+}
+
+impl Kernel for BitonicPass {
+    fn name(&self) -> &str {
+        "bitonic-pass"
+    }
+
+    fn num_workgroups(&self) -> u64 {
+        // One work item per compare pair.
+        (self.n / 2).div_ceil(256)
+    }
+
+    fn workgroup(&self, idx: u64) -> WorkGroupSpec {
+        let pairs = self.n / 2;
+        let mut wavefronts = Vec::new();
+        for wf in 0..4u64 {
+            let pair0 = idx * 256 + wf * WAVEFRONT;
+            if pair0 >= pairs {
+                break;
+            }
+            let lanes = WAVEFRONT.min(pairs - pair0);
+            // Work item t handles elements i and i^j where
+            // i = insert_zero_bit(t, log2(j)). Lanes are consecutive, so
+            // their `i` values form contiguous runs of length min(j, 64)
+            // interleaved with their partners.
+            let mut insts = Vec::new();
+            let run = self.j.min(lanes);
+            let mut covered = 0;
+            while covered < lanes {
+                let t = pair0 + covered;
+                let low = t % self.j.max(1);
+                let high = (t / self.j.max(1)) * (self.j * 2);
+                let i = high + low;
+                let span = run.min(lanes - covered);
+                load_region(&mut insts, self.data + i * 4, span * 4);
+                load_region(&mut insts, self.data + (i + self.j) * 4, span * 4);
+                insts.push(Inst::Compute(1));
+                store_region(&mut insts, self.data + i * 4, span * 4);
+                store_region(&mut insts, self.data + (i + self.j) * 4, span * 4);
+                covered += span;
+            }
+            wavefronts.push(WavefrontProgram::new(insts));
+        }
+        WorkGroupSpec { wavefronts }
+    }
+}
+
+impl Workload for BitonicSort {
+    fn name(&self) -> &'static str {
+        "bitonic"
+    }
+
+    fn enqueue(&self, driver: &mut Driver) {
+        assert!(self.n.is_power_of_two(), "element count must be 2^n");
+        assert!(self.n >= 2, "need at least one pair");
+        let data = driver.alloc(self.n * 4);
+        driver.enqueue_memcpy("bitonic data", self.n * 4);
+        let stages = self.n.trailing_zeros() as u64;
+        for k in 1..=stages {
+            for jj in (0..k).rev() {
+                driver.enqueue_kernel(Rc::new(BitonicPass {
+                    n: self.n,
+                    j: 1 << jj,
+                    data,
+                }));
+            }
+        }
+        driver.enqueue_memcpy("bitonic result", self.n * 4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_count_formula() {
+        assert_eq!(BitonicSort { n: 2 }.passes(), 1);
+        assert_eq!(BitonicSort { n: 1024 }.passes(), 55);
+        assert_eq!(BitonicSort::default().passes(), 78);
+    }
+
+    #[test]
+    fn small_stride_pass_touches_contiguous_lines() {
+        let p = BitonicPass {
+            n: 512,
+            j: 1,
+            data: 0,
+        };
+        let wg = p.workgroup(0);
+        let prog = &wg.wavefronts[0];
+        assert!(prog.mem_insts() > 0);
+        // With j=1 adjacent pairs interleave: every access stays inside the
+        // first 512 bytes (64 pairs × 8 bytes).
+        for inst in &prog.insts {
+            if let Inst::Load(a, _) | Inst::Store(a, _) = inst {
+                assert!(*a < 512 + 64, "address {a} outside the pair window");
+            }
+        }
+    }
+
+    #[test]
+    fn large_stride_pass_reads_two_distant_regions() {
+        let p = BitonicPass {
+            n: 4096,
+            j: 1024,
+            data: 0,
+        };
+        let wg = p.workgroup(0);
+        let has_far = wg.wavefronts[0].insts.iter().any(
+            |i| matches!(i, Inst::Load(a, _) if *a >= 1024 * 4),
+        );
+        assert!(has_far, "partner region must be j elements away");
+    }
+}

@@ -1,0 +1,150 @@
+//! Finite Impulse Response filter — the paper's user-study warm-up
+//! benchmark and the workload with the highest observed monitoring
+//! overhead (3.7%, Fig 7).
+
+use std::rc::Rc;
+
+use akita_gpu::kernel::{Inst, Kernel, WavefrontProgram, WorkGroupSpec};
+use akita_gpu::Driver;
+use akita_mem::Addr;
+
+use crate::util::{load_region, store_region, WAVEFRONT};
+use crate::Workload;
+
+/// FIR configuration.
+#[derive(Debug, Clone)]
+pub struct Fir {
+    /// Number of output samples.
+    pub num_samples: u64,
+    /// Filter taps.
+    pub taps: u64,
+    /// Work items per workgroup.
+    pub wg_items: u64,
+}
+
+impl Default for Fir {
+    fn default() -> Self {
+        Fir {
+            num_samples: 16 * 1024,
+            taps: 16,
+            wg_items: 256,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FirKernel {
+    cfg: Fir,
+    input: Addr,
+    coeff: Addr,
+    output: Addr,
+}
+
+impl Kernel for FirKernel {
+    fn name(&self) -> &str {
+        "fir"
+    }
+
+    fn num_workgroups(&self) -> u64 {
+        self.cfg.num_samples.div_ceil(self.cfg.wg_items)
+    }
+
+    fn workgroup(&self, idx: u64) -> WorkGroupSpec {
+        let wavefronts_per_wg = self.cfg.wg_items.div_ceil(WAVEFRONT);
+        let mut wavefronts = Vec::new();
+        for wf in 0..wavefronts_per_wg {
+            let wi_base = idx * self.cfg.wg_items + wf * WAVEFRONT;
+            if wi_base >= self.cfg.num_samples {
+                break;
+            }
+            let lanes = WAVEFRONT.min(self.cfg.num_samples - wi_base);
+            let mut insts = Vec::new();
+            // Coefficients: one small read, hot in cache.
+            load_region(&mut insts, self.coeff, self.cfg.taps * 4);
+            // Sliding window: per tap, the wavefront reads `lanes`
+            // consecutive samples offset by the tap index.
+            for t in 0..self.cfg.taps {
+                load_region(&mut insts, self.input + (wi_base + t) * 4, lanes * 4);
+                insts.push(Inst::Compute(2)); // multiply–accumulate
+            }
+            store_region(&mut insts, self.output + wi_base * 4, lanes * 4);
+            wavefronts.push(WavefrontProgram::new(insts));
+        }
+        WorkGroupSpec { wavefronts }
+    }
+}
+
+impl Workload for Fir {
+    fn name(&self) -> &'static str {
+        "fir"
+    }
+
+    fn enqueue(&self, driver: &mut Driver) {
+        let input = driver.alloc((self.num_samples + self.taps) * 4);
+        let coeff = driver.alloc(self.taps * 4);
+        let output = driver.alloc(self.num_samples * 4);
+        driver.enqueue_memcpy("fir input", (self.num_samples + self.taps) * 4);
+        driver.enqueue_kernel(Rc::new(FirKernel {
+            cfg: self.clone(),
+            input,
+            coeff,
+            output,
+        }));
+        driver.enqueue_memcpy("fir output", self.num_samples * 4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workgroup_count_covers_all_samples() {
+        let f = Fir {
+            num_samples: 1000,
+            taps: 4,
+            wg_items: 256,
+        };
+        let k = FirKernel {
+            cfg: f,
+            input: 0,
+            coeff: 0x1_0000,
+            output: 0x2_0000,
+        };
+        assert_eq!(k.num_workgroups(), 4);
+        // Last workgroup is partial: 1000 - 768 = 232 items → 4 wavefronts,
+        // the last with 40 lanes.
+        let wg = k.workgroup(3);
+        assert_eq!(wg.wavefronts.len(), 4);
+    }
+
+    #[test]
+    fn trace_contains_taps_plus_io() {
+        let f = Fir {
+            num_samples: 64,
+            taps: 8,
+            wg_items: 64,
+        };
+        let k = FirKernel {
+            cfg: f,
+            input: 0,
+            coeff: 0x1_0000,
+            output: 0x2_0000,
+        };
+        let wg = k.workgroup(0);
+        assert_eq!(wg.wavefronts.len(), 1);
+        let prog = &wg.wavefronts[0];
+        let computes = prog
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Compute(_)))
+            .count();
+        assert_eq!(computes, 8, "one MAC per tap");
+        assert!(prog.mem_insts() > 8, "loads per tap plus stores");
+        // Stores target the output buffer.
+        assert!(prog
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Store(a, _) if *a >= 0x2_0000)));
+    }
+}

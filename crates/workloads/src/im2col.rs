@@ -1,0 +1,209 @@
+//! Image-to-Column conversion — the workload of the paper's Case Study 1
+//! and user study ("im2col converts a 2D image convolution operation into
+//! matrix multiplications"; 24×24 images, six feature-map channels, batch
+//! size 640).
+
+use std::rc::Rc;
+
+use akita_gpu::kernel::{Inst, Kernel, WavefrontProgram, WorkGroupSpec};
+use akita_gpu::Driver;
+use akita_mem::Addr;
+
+use crate::util::{load_region, store_region, WAVEFRONT};
+use crate::Workload;
+
+/// im2col configuration.
+#[derive(Debug, Clone)]
+pub struct Im2col {
+    /// Image height.
+    pub height: u64,
+    /// Image width.
+    pub width: u64,
+    /// Input feature-map channels.
+    pub channels: u64,
+    /// Batch size.
+    pub batch: u64,
+    /// Convolution kernel height.
+    pub kh: u64,
+    /// Convolution kernel width.
+    pub kw: u64,
+    /// Output columns handled per workgroup.
+    pub wg_cols: u64,
+}
+
+impl Default for Im2col {
+    /// A scaled configuration for tests and fast benches.
+    fn default() -> Self {
+        Im2col {
+            height: 24,
+            width: 24,
+            channels: 6,
+            batch: 16,
+            kh: 3,
+            kw: 3,
+            wg_cols: 256,
+        }
+    }
+}
+
+impl Im2col {
+    /// The exact Case Study 1 parameters: 24×24 images, six channels,
+    /// batch 640.
+    pub fn paper() -> Self {
+        Im2col {
+            batch: 640,
+            ..Im2col::default()
+        }
+    }
+
+    /// Output height after a valid convolution.
+    pub fn out_h(&self) -> u64 {
+        self.height - self.kh + 1
+    }
+
+    /// Output width after a valid convolution.
+    pub fn out_w(&self) -> u64 {
+        self.width - self.kw + 1
+    }
+
+    /// Total output-matrix columns (one per convolution window position).
+    pub fn cols(&self) -> u64 {
+        self.batch * self.out_h() * self.out_w()
+    }
+
+    /// Total output-matrix rows (one per kernel element per channel).
+    pub fn rows(&self) -> u64 {
+        self.channels * self.kh * self.kw
+    }
+}
+
+#[derive(Debug)]
+struct Im2colKernel {
+    cfg: Im2col,
+    input: Addr,
+    output: Addr,
+}
+
+impl Kernel for Im2colKernel {
+    fn name(&self) -> &str {
+        "im2col"
+    }
+
+    fn num_workgroups(&self) -> u64 {
+        self.cfg.cols().div_ceil(self.cfg.wg_cols)
+    }
+
+    fn workgroup(&self, idx: u64) -> WorkGroupSpec {
+        let cfg = &self.cfg;
+        let cols = cfg.cols();
+        let per_image = cfg.out_h() * cfg.out_w();
+        let wavefronts_per_wg = cfg.wg_cols.div_ceil(WAVEFRONT);
+        let mut wavefronts = Vec::new();
+        for wf in 0..wavefronts_per_wg {
+            let col0 = idx * cfg.wg_cols + wf * WAVEFRONT;
+            if col0 >= cols {
+                break;
+            }
+            let lanes = WAVEFRONT.min(cols - col0);
+            // Decode lane 0's window position.
+            let n = col0 / per_image;
+            let within = col0 % per_image;
+            let oh = within / cfg.out_w();
+            let ow = within % cfg.out_w();
+            let mut insts = Vec::new();
+            for c in 0..cfg.channels {
+                for kh_i in 0..cfg.kh {
+                    for kw_i in 0..cfg.kw {
+                        let r = (c * cfg.kh + kh_i) * cfg.kw + kw_i;
+                        // Lanes walk consecutive window positions: their
+                        // input addresses are contiguous along the image row
+                        // (approximating the wrap at row boundaries).
+                        let in_addr = self.input
+                            + (((n * cfg.channels + c) * cfg.height + oh + kh_i) * cfg.width
+                                + ow
+                                + kw_i)
+                                * 4;
+                        load_region(&mut insts, in_addr, lanes * 4);
+                        // The output write is coalesced along the row.
+                        let out_addr = self.output + (r * cols + col0) * 4;
+                        store_region(&mut insts, out_addr, lanes * 4);
+                        insts.push(Inst::Compute(1));
+                    }
+                }
+            }
+            wavefronts.push(WavefrontProgram::new(insts));
+        }
+        WorkGroupSpec { wavefronts }
+    }
+}
+
+impl Workload for Im2col {
+    fn name(&self) -> &'static str {
+        "im2col"
+    }
+
+    fn enqueue(&self, driver: &mut Driver) {
+        let in_bytes = self.batch * self.channels * self.height * self.width * 4;
+        let out_bytes = self.rows() * self.cols() * 4;
+        let input = driver.alloc(in_bytes);
+        let output = driver.alloc(out_bytes);
+        driver.enqueue_memcpy("im2col images", in_bytes);
+        driver.enqueue_kernel(Rc::new(Im2colKernel {
+            cfg: self.clone(),
+            input,
+            output,
+        }));
+        driver.enqueue_memcpy("im2col matrix", out_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_the_case_study() {
+        let cfg = Im2col::paper();
+        assert_eq!(cfg.out_h(), 22);
+        assert_eq!(cfg.out_w(), 22);
+        assert_eq!(cfg.cols(), 640 * 484);
+        assert_eq!(cfg.rows(), 54);
+    }
+
+    #[test]
+    fn every_output_row_is_written() {
+        let cfg = Im2col {
+            batch: 1,
+            ..Im2col::default()
+        };
+        let k = Im2colKernel {
+            cfg: cfg.clone(),
+            input: 0,
+            output: 0x100_0000,
+        };
+        let wg = k.workgroup(0);
+        let stores = wg.wavefronts[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Store(..)))
+            .count();
+        // 54 rows × ≥4 lines each.
+        assert!(stores >= cfg.rows() as usize * 4);
+    }
+
+    #[test]
+    fn workgroups_cover_all_columns() {
+        let cfg = Im2col::default();
+        let k = Im2colKernel {
+            cfg: cfg.clone(),
+            input: 0,
+            output: 0x100_0000,
+        };
+        assert_eq!(
+            k.num_workgroups(),
+            (cfg.cols() + cfg.wg_cols - 1) / cfg.wg_cols
+        );
+        // The last workgroup still yields at least one wavefront.
+        assert!(!k.workgroup(k.num_workgroups() - 1).wavefronts.is_empty());
+    }
+}

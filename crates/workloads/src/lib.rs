@@ -1,0 +1,112 @@
+//! # akita-workloads — the GPU benchmark suite
+//!
+//! Timing-trace versions of the six MGPUSim benchmarks the paper evaluates
+//! with (Fig 7), including the exact Case Study 1 configuration
+//! ([`Im2col::paper`]): FIR, im2col, matrix multiplication, k-means,
+//! bitonic sort, and matrix transpose.
+//!
+//! A [`Workload`] knows how to allocate its buffers and enqueue its host
+//! tasks (memcpys and kernel launches) onto a
+//! [`akita_gpu::Driver`]:
+//!
+//! ```
+//! use akita_gpu::{GpuConfig, Platform, PlatformConfig};
+//! use akita_workloads::{Fir, Workload};
+//!
+//! let mut platform = Platform::build(PlatformConfig {
+//!     gpu: GpuConfig::scaled(2),
+//!     ..PlatformConfig::default()
+//! });
+//! let fir = Fir { num_samples: 1024, ..Fir::default() };
+//! fir.enqueue(&mut platform.driver.borrow_mut());
+//! platform.start();
+//! platform.sim.run();
+//! assert!(platform.driver.borrow().finished());
+//! ```
+
+#![warn(missing_docs)]
+
+mod aes;
+mod bitonic;
+mod fir;
+mod im2col;
+mod kmeans;
+mod matmul;
+mod spmv;
+mod stencil;
+mod transpose;
+pub mod util;
+
+use std::fmt::Debug;
+
+use akita_gpu::Driver;
+
+pub use aes::Aes;
+pub use bitonic::BitonicSort;
+pub use fir::Fir;
+pub use im2col::Im2col;
+pub use kmeans::KMeans;
+pub use matmul::MatMul;
+pub use spmv::SpMv;
+pub use stencil::Stencil2D;
+pub use transpose::Transpose;
+
+/// A benchmark that can set itself up on a GPU platform.
+pub trait Workload: Debug {
+    /// Short name, e.g. `"fir"`.
+    fn name(&self) -> &'static str;
+
+    /// Allocates buffers and enqueues host tasks (memcpys and kernel
+    /// launches) on the driver.
+    fn enqueue(&self, driver: &mut Driver);
+}
+
+/// The six-benchmark suite of the paper's Figure 7, at test/bench scale.
+pub fn suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Fir::default()),
+        Box::new(Im2col::default()),
+        Box::new(MatMul::default()),
+        Box::new(KMeans::default()),
+        Box::new(BitonicSort::default()),
+        Box::new(Transpose::default()),
+    ]
+}
+
+/// The extended suite: the paper's six plus AES (compute-bound), SpMV
+/// (gather-bound), and a 2D stencil (neighbor-sharing) in the style of the
+/// wider MGPUSim benchmark collection.
+pub fn extended_suite() -> Vec<Box<dyn Workload>> {
+    let mut all = suite();
+    all.push(Box::new(Aes::default()));
+    all.push(Box::new(SpMv::default()));
+    all.push(Box::new(Stencil2D::default()));
+    all
+}
+
+/// Looks up a workload (from the extended suite) by its
+/// [`Workload::name`].
+pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    extended_suite().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_six_distinct_benchmarks() {
+        let names: Vec<_> = suite().iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 6);
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for w in suite() {
+            assert_eq!(by_name(w.name()).unwrap().name(), w.name());
+        }
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Tiled dense matrix multiplication.
+
+use std::rc::Rc;
+
+use akita_gpu::kernel::{Inst, Kernel, WavefrontProgram, WorkGroupSpec};
+use akita_gpu::Driver;
+use akita_mem::Addr;
+
+use crate::util::{load_region, store_region};
+use crate::Workload;
+
+/// Matrix multiplication `C[m×n] = A[m×k] × B[k×n]`, 16×16 tiles.
+#[derive(Debug, Clone)]
+pub struct MatMul {
+    /// Rows of A and C.
+    pub m: u64,
+    /// Columns of B and C.
+    pub n: u64,
+    /// Inner dimension.
+    pub k: u64,
+}
+
+/// Tile edge (work items per workgroup = TILE × TILE = 256).
+const TILE: u64 = 16;
+
+impl Default for MatMul {
+    fn default() -> Self {
+        MatMul {
+            m: 128,
+            n: 128,
+            k: 128,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MatMulKernel {
+    cfg: MatMul,
+    a: Addr,
+    b: Addr,
+    c: Addr,
+}
+
+impl Kernel for MatMulKernel {
+    fn name(&self) -> &str {
+        "matmul"
+    }
+
+    fn num_workgroups(&self) -> u64 {
+        (self.cfg.m / TILE) * (self.cfg.n / TILE)
+    }
+
+    fn workgroup(&self, idx: u64) -> WorkGroupSpec {
+        let tiles_n = self.cfg.n / TILE;
+        let tile_row = idx / tiles_n;
+        let tile_col = idx % tiles_n;
+        // 256 work items = 4 wavefronts; each wavefront owns 4 rows of the
+        // output tile and loads the matching slices of A and B.
+        let mut wavefronts = Vec::new();
+        for wf in 0..4u64 {
+            let mut insts = Vec::new();
+            for kt in 0..(self.cfg.k / TILE) {
+                for r in 0..4u64 {
+                    let a_row = tile_row * TILE + wf * 4 + r;
+                    let a_addr = self.a + (a_row * self.cfg.k + kt * TILE) * 4;
+                    load_region(&mut insts, a_addr, TILE * 4);
+                    let b_row = kt * TILE + wf * 4 + r;
+                    let b_addr = self.b + (b_row * self.cfg.n + tile_col * TILE) * 4;
+                    load_region(&mut insts, b_addr, TILE * 4);
+                }
+                // The whole tile must be staged in LDS before anyone
+                // multiplies, and consumed before the next tile loads.
+                insts.push(Inst::Barrier);
+                // 16 MACs per element over the tile slice.
+                insts.push(Inst::Compute(16));
+                insts.push(Inst::Barrier);
+            }
+            for r in 0..4u64 {
+                let c_row = tile_row * TILE + wf * 4 + r;
+                let c_addr = self.c + (c_row * self.cfg.n + tile_col * TILE) * 4;
+                store_region(&mut insts, c_addr, TILE * 4);
+            }
+            wavefronts.push(WavefrontProgram::new(insts));
+        }
+        WorkGroupSpec { wavefronts }
+    }
+}
+
+impl Workload for MatMul {
+    fn name(&self) -> &'static str {
+        "matmul"
+    }
+
+    fn enqueue(&self, driver: &mut Driver) {
+        assert!(
+            self.m % TILE == 0 && self.n % TILE == 0 && self.k % TILE == 0,
+            "matrix dimensions must be multiples of {TILE}"
+        );
+        let a = driver.alloc(self.m * self.k * 4);
+        let b = driver.alloc(self.k * self.n * 4);
+        let c = driver.alloc(self.m * self.n * 4);
+        driver.enqueue_memcpy("matmul A", self.m * self.k * 4);
+        driver.enqueue_memcpy("matmul B", self.k * self.n * 4);
+        driver.enqueue_kernel(Rc::new(MatMulKernel {
+            cfg: self.clone(),
+            a,
+            b,
+            c,
+        }));
+        driver.enqueue_memcpy("matmul C", self.m * self.n * 4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_the_output() {
+        let k = MatMulKernel {
+            cfg: MatMul::default(),
+            a: 0,
+            b: 0x10_0000,
+            c: 0x20_0000,
+        };
+        assert_eq!(k.num_workgroups(), 8 * 8);
+        let wg = k.workgroup(0);
+        assert_eq!(wg.wavefronts.len(), 4);
+    }
+
+    #[test]
+    fn trace_loads_scale_with_inner_dimension() {
+        let small = MatMulKernel {
+            cfg: MatMul {
+                m: 16,
+                n: 16,
+                k: 16,
+            },
+            a: 0,
+            b: 0x10_0000,
+            c: 0x20_0000,
+        };
+        let big = MatMulKernel {
+            cfg: MatMul {
+                m: 16,
+                n: 16,
+                k: 64,
+            },
+            a: 0,
+            b: 0x10_0000,
+            c: 0x20_0000,
+        };
+        let s = small.workgroup(0).wavefronts[0].mem_insts();
+        let b = big.workgroup(0).wavefronts[0].mem_insts();
+        // 4x the K tiles → ~4x the tile loads (the constant store tail
+        // keeps the ratio just under 4).
+        assert!(b >= 3 * s, "expected ~4x loads, got {s} vs {b}");
+    }
+}

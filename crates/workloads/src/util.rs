@@ -1,0 +1,73 @@
+//! Shared helpers for workload trace generation.
+
+use akita_gpu::kernel::Inst;
+use akita_mem::{Addr, CACHE_LINE};
+
+/// Number of work items per wavefront (AMD GCN wavefront width).
+pub const WAVEFRONT: u64 = 64;
+
+/// The distinct cache lines touched by a contiguous access of `bytes`
+/// starting at `start` — what a coalescer reduces a wavefront's contiguous
+/// lane accesses to.
+pub fn coalesced_lines(start: Addr, bytes: u64) -> Vec<Addr> {
+    if bytes == 0 {
+        return Vec::new();
+    }
+    let first = start & !(CACHE_LINE - 1);
+    let last = (start + bytes - 1) & !(CACHE_LINE - 1);
+    (0..)
+        .map(|i| first + i * CACHE_LINE)
+        .take_while(|&l| l <= last)
+        .collect()
+}
+
+/// Emits coalesced loads for a contiguous region.
+pub fn load_region(insts: &mut Vec<Inst>, start: Addr, bytes: u64) {
+    for line in coalesced_lines(start, bytes) {
+        insts.push(Inst::Load(line, CACHE_LINE as u32));
+    }
+}
+
+/// Emits coalesced stores for a contiguous region.
+pub fn store_region(insts: &mut Vec<Inst>, start: Addr, bytes: u64) {
+    for line in coalesced_lines(start, bytes) {
+        insts.push(Inst::Store(line, CACHE_LINE as u32));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_lines_cover_the_region() {
+        assert_eq!(coalesced_lines(0, 1), vec![0]);
+        assert_eq!(coalesced_lines(0, 64), vec![0]);
+        assert_eq!(coalesced_lines(0, 65), vec![0, 64]);
+        assert_eq!(coalesced_lines(60, 8), vec![0, 64]);
+        assert_eq!(coalesced_lines(128, 256), vec![128, 192, 256, 320]);
+        assert!(coalesced_lines(10, 0).is_empty());
+    }
+
+    #[test]
+    fn unaligned_wavefront_read_spans_five_lines() {
+        // 64 lanes × 4 B starting mid-line: 256 B spanning 5 lines.
+        assert_eq!(coalesced_lines(4, WAVEFRONT * 4).len(), 5);
+        assert_eq!(coalesced_lines(0, WAVEFRONT * 4).len(), 4);
+    }
+
+    #[test]
+    fn regions_emit_line_sized_accesses() {
+        let mut insts = Vec::new();
+        load_region(&mut insts, 0, 128);
+        store_region(&mut insts, 256, 64);
+        assert_eq!(
+            insts,
+            vec![
+                Inst::Load(0, 64),
+                Inst::Load(64, 64),
+                Inst::Store(256, 64)
+            ]
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Every suite workload runs to completion on single- and multi-chiplet
+//! platforms.
+
+use akita_gpu::{GpuConfig, Platform, PlatformConfig};
+use akita_workloads::{suite, BitonicSort, Fir, Im2col, KMeans, MatMul, Transpose, Workload};
+
+fn run(w: &dyn Workload, chiplets: usize) -> (u64, f64) {
+    let mut p = Platform::build(PlatformConfig {
+        chiplets,
+        gpu: GpuConfig::scaled(4),
+        ..PlatformConfig::default()
+    });
+    w.enqueue(&mut p.driver.borrow_mut());
+    p.start();
+    let summary = p.sim.run();
+    assert!(
+        p.driver.borrow().finished(),
+        "workload {} did not finish",
+        w.name()
+    );
+    (summary.events, p.sim.now().as_sec())
+}
+
+#[test]
+fn whole_suite_completes_on_one_chiplet() {
+    for w in suite() {
+        let (events, secs) = run(&*w, 1);
+        assert!(events > 100, "{} did almost nothing", w.name());
+        assert!(secs > 0.0);
+    }
+}
+
+#[test]
+fn fir_and_im2col_complete_on_four_chiplets() {
+    // The two paper-featured workloads also run on the MCM machine.
+    let fir = Fir {
+        num_samples: 4096,
+        ..Fir::default()
+    };
+    run(&fir, 4);
+    let im2col = Im2col {
+        batch: 4,
+        ..Im2col::default()
+    };
+    run(&im2col, 4);
+}
+
+#[test]
+fn workload_runtimes_scale_with_problem_size() {
+    let small = Fir {
+        num_samples: 1024,
+        ..Fir::default()
+    };
+    let big = Fir {
+        num_samples: 8 * 1024,
+        ..Fir::default()
+    };
+    let (_, t_small) = run(&small, 1);
+    let (_, t_big) = run(&big, 1);
+    assert!(
+        t_big > t_small * 2.0,
+        "8x samples must take >2x virtual time: {t_small} vs {t_big}"
+    );
+}
+
+#[test]
+fn bitonic_launches_one_kernel_per_pass() {
+    let b = BitonicSort { n: 256 };
+    let mut p = Platform::build(PlatformConfig {
+        gpu: GpuConfig::scaled(2),
+        ..PlatformConfig::default()
+    });
+    b.enqueue(&mut p.driver.borrow_mut());
+    p.start();
+    p.sim.run();
+    assert_eq!(p.dispatcher.borrow().kernels_completed(), b.passes());
+}
+
+#[test]
+fn remaining_workloads_have_sane_defaults() {
+    assert_eq!(MatMul::default().m % 16, 0);
+    assert_eq!(Transpose::default().rows % 16, 0);
+    assert!(KMeans::default().points > 0);
+    assert!(BitonicSort::default().n.is_power_of_two());
+    assert_eq!(Im2col::paper().batch, 640);
+}
+
+#[test]
+fn extended_suite_workloads_complete() {
+    use akita_workloads::extended_suite;
+    for w in extended_suite() {
+        // Skip the six already covered by whole_suite_completes_on_one_chiplet.
+        if akita_workloads::suite().iter().any(|s| s.name() == w.name()) {
+            continue;
+        }
+        let (events, _) = run(&*w, 1);
+        assert!(events > 100, "{} did almost nothing", w.name());
+    }
+}
+
+#[test]
+fn extended_suite_has_nine_entries() {
+    use akita_workloads::{by_name, extended_suite};
+    assert_eq!(extended_suite().len(), 9);
+    for name in ["aes", "spmv", "stencil2d"] {
+        assert!(by_name(name).is_some(), "missing {name}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Bottleneck hunt: the paper's Case Study 1 as an interactive session.
+//!
+//! ```text
+//! cargo run --example bottleneck_hunt --release
+//! ```
+//!
+//! Runs im2col on a 4-chiplet MCM GPU with a slow inter-chiplet network,
+//! then walks the published analysis over the live HTTP API:
+//! check the progress bar, refresh the buffer analyzer, flag suspicious
+//! values, and follow the evidence from the ROB through the address
+//! translator and L1 down to the RDMA engine.
+
+use std::time::Duration;
+
+use akita::VTime;
+use akita_gpu::{GpuConfig, Platform, PlatformConfig};
+use akita_rtm::client;
+use akita_workloads::{Im2col, Workload};
+
+// The MonitoredSim harness lives in the bench crate; examples keep their
+// own tiny copy to stay self-contained.
+fn main() {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let sim_thread = std::thread::spawn(move || {
+        let mut gpu = GpuConfig::scaled(8);
+        gpu.cu.max_outstanding_per_wf = 16;
+        gpu.cu.mem_issue_width = 2;
+        gpu.l1.size_bytes = 2 * 1024;
+        let mut platform = Platform::build(PlatformConfig {
+            chiplets: 4,
+            net_latency: VTime::from_ns(500),
+            net_bandwidth: Some(250_000_000),
+            gpu,
+            ..PlatformConfig::default()
+        });
+        let im2col = Im2col {
+            batch: 64,
+            ..Im2col::default()
+        };
+        im2col.enqueue(&mut platform.driver.borrow_mut());
+        platform.start();
+        let monitor = std::sync::Arc::new(akita_rtm::Monitor::attach(
+            &platform.sim,
+            platform.progress.clone(),
+            Duration::from_millis(10),
+        ));
+        let server = akita_rtm::RtmServer::start_local(monitor).expect("bind");
+        tx.send(server).expect("hand over server");
+        platform.sim.run_interactive()
+    });
+    let server = rx.recv().expect("server");
+    let addr = server.addr();
+    println!("im2col on a 4-chiplet MCM GPU — monitoring at {}\n", server.url());
+
+    // Step 1: initial assessment — is the simulation healthy?
+    println!("[assess] waiting for smooth progress…");
+    let mut last_done = 0;
+    for _ in 0..1000 {
+        std::thread::sleep(Duration::from_millis(20));
+        let bars = client::get(addr, "/api/progress").unwrap().json().unwrap();
+        if let Some(done) = bars
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|b| b["name"].as_str().unwrap().contains("kernel"))
+            .and_then(|b| b["finished"].as_u64())
+        {
+            if done > 8 && done > last_done {
+                println!("  progress bar moving ({done} workgroups done) — simulation is healthy\n");
+                break;
+            }
+            last_done = done;
+        }
+    }
+
+    // Step 2: refresh the bottleneck analyzer a few times.
+    println!("[analyze] most occupied buffers across three refreshes:");
+    let (mut rob_hits, mut rdma_hits) = (0, 0);
+    for refresh in 0..3 {
+        std::thread::sleep(Duration::from_millis(150));
+        let rows = client::get(addr, "/api/buffers?sort=percent&top=10")
+            .unwrap()
+            .json()
+            .unwrap();
+        println!("  refresh {refresh}:");
+        for row in rows.as_array().unwrap() {
+            let name = row["name"].as_str().unwrap();
+            if name.contains("L1VROB") {
+                rob_hits += 1;
+            }
+            if name.contains("RDMA") {
+                rdma_hits += 1;
+            }
+            println!("    {:<40} {}/{}", name, row["size"], row["capacity"]);
+        }
+    }
+    println!("  RDMA port buffers appeared {rdma_hits}x and L1VROB top ports {rob_hits}x at the top —");
+    println!("  being repeatedly placed at the top strongly suggests a bottleneck there.\n");
+
+    // Step 3: flag values and compare components down the hierarchy.
+    println!("[monitor] flagging transaction counts down the memory hierarchy…");
+    for (component, field) in [
+        ("GPU[0].SA[0].L1VROB[0]", "transactions"),
+        ("GPU[0].SA[0].L1VAddrTrans[0]", "transactions"),
+        ("GPU[0].SA[0].L1VCache[0]", "transactions"),
+        ("GPU[0].RDMA", "transactions"),
+    ] {
+        let body = format!(r#"{{"component":"{component}","field":"{field}"}}"#);
+        client::post(addr, "/api/watch", Some(&body)).expect("watch");
+    }
+    std::thread::sleep(Duration::from_secs(2));
+    let series = client::get(addr, "/api/watches").unwrap().json().unwrap();
+    for s in series.as_array().unwrap() {
+        let points = s["points"].as_array().unwrap();
+        let values: Vec<f64> = points.iter().map(|p| p["value"].as_f64().unwrap()).collect();
+        let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+        let max = values.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "  {:<32} mean {:>7.1}  max {:>7.1}",
+            s["component"].as_str().unwrap(),
+            mean,
+            max
+        );
+    }
+    println!();
+    println!("[conclude] the RDMA engine holds by far the most in-flight transactions —");
+    println!("requests waiting on the slow inter-chiplet network. The network is the");
+    println!("bottleneck; terminate early and change the configuration instead of");
+    println!("waiting days for the full run (the paper's \"fail early, fail fast\").");
+
+    let _ = client::post(addr, "/api/terminate", None);
+    let _ = sim_thread.join();
+}

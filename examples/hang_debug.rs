@@ -1,0 +1,145 @@
+//! Hang debugging: the paper's Case Study 2 as an interactive session.
+//!
+//! ```text
+//! cargo run --example hang_debug --release
+//! ```
+//!
+//! Runs FIR against an L2 cache with the write-buffer deadlock bug
+//! injected, detects the hang through the monitor (frozen progress bar,
+//! frozen simulation time, idle engine), inspects buffer levels, probes
+//! with Tick / Kick Start, and pinpoints the wedged L2 bank — without ever
+//! restarting the simulation.
+
+use std::time::{Duration, Instant};
+
+use akita_gpu::{GpuConfig, Platform, PlatformConfig};
+use akita_mem::L2Config;
+use akita_rtm::client;
+use akita_workloads::{Fir, Workload};
+
+fn main() {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let sim_thread = std::thread::spawn(move || {
+        let mut gpu = GpuConfig::scaled(4);
+        gpu.l2 = L2Config {
+            size_bytes: 2048,
+            ways: 2,
+            write_buffer_cap: 1,
+            inject_writeback_deadlock: true, // the Case Study 2 bug
+            ..L2Config::default()
+        };
+        let mut platform = Platform::build(PlatformConfig {
+            gpu,
+            ..PlatformConfig::default()
+        });
+        let fir = Fir {
+            num_samples: 64 * 1024,
+            ..Fir::default()
+        };
+        fir.enqueue(&mut platform.driver.borrow_mut());
+        platform.start();
+        let monitor = std::sync::Arc::new(akita_rtm::Monitor::attach(
+            &platform.sim,
+            platform.progress.clone(),
+            Duration::from_millis(20),
+        ));
+        let server = akita_rtm::RtmServer::start_local(monitor).expect("bind");
+        tx.send(server).expect("hand over server");
+        platform.sim.run_interactive()
+    });
+    let server = rx.recv().expect("server");
+    let addr = server.addr();
+    println!("FIR with a buggy L2 — monitoring at {}\n", server.url());
+
+    // Detect the hang the way a user would: the progress bar stops, the
+    // simulation time stops, and the engine reports Idle with work left.
+    println!("[detect] watching for the hang…");
+    let start = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let now = client::get(addr, "/api/now").unwrap().json().unwrap();
+        if now["state"] == "Idle" {
+            println!(
+                "  simulation went quiet after {:.1}s of wall time at {} ps of virtual time",
+                start.elapsed().as_secs_f64(),
+                now["now_ps"]
+            );
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(300),
+            "expected the injected deadlock to hang the simulation"
+        );
+    }
+    let bars = client::get(addr, "/api/progress").unwrap().json().unwrap();
+    for bar in bars.as_array().unwrap() {
+        if bar["name"].as_str().unwrap().contains("kernel") {
+            println!(
+                "  kernel progress frozen at {}/{} workgroups — a hang, not completion\n",
+                bar["finished"], bar["total"]
+            );
+        }
+    }
+
+    // Identify hanging components: non-empty buffers.
+    println!("[inspect] buffers still holding content:");
+    let rows = client::get(addr, "/api/buffers?sort=size&top=6")
+        .unwrap()
+        .json()
+        .unwrap();
+    for row in rows.as_array().unwrap() {
+        if row["size"].as_u64().unwrap() > 0 {
+            println!(
+                "  {:<40} {}/{}",
+                row["name"].as_str().unwrap(),
+                row["size"],
+                row["capacity"]
+            );
+        }
+    }
+    println!();
+
+    // Probe: tick the suspect, kick-start everything. A lost-wakeup bug
+    // would recover; a true deadlock quiesces again.
+    println!("[probe] Tick GPU[0].L2[0], then Kick Start…");
+    client::post(addr, "/api/tick?name=GPU%5B0%5D.L2%5B0%5D", None).expect("tick");
+    let kick = client::post(addr, "/api/kickstart", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    println!("  woke {} components", kick["woken"]);
+    std::thread::sleep(Duration::from_millis(300));
+    let state = client::get(addr, "/api/now").unwrap().json().unwrap()["state"].clone();
+    println!("  engine state after kick start: {state} — still wedged\n");
+
+    // Pinpoint: the L2's own fields confess.
+    println!("[diagnose] L2 bank state:");
+    for bank in 0..2 {
+        let dto = client::get(addr, &format!("/api/component?name=GPU%5B0%5D.L2%5B{bank}%5D"))
+            .unwrap()
+            .json()
+            .unwrap();
+        let fields = dto["state"]["fields"].as_array().unwrap();
+        let field = |n: &str| {
+            fields
+                .iter()
+                .find(|f| f["name"] == n)
+                .map(|f| f["value"]["v"].clone())
+                .unwrap_or_default()
+        };
+        println!(
+            "  GPU[0].L2[{bank}]: wedged={} write_buffer={} staging_evict_busy={}",
+            field("wedged"),
+            field("write_buffer"),
+            field("staging_evict_busy")
+        );
+    }
+    println!();
+    println!("the write buffer is full and its head is fetched data that local storage");
+    println!("refuses while it cannot queue its eviction first — the circular wait of");
+    println!("Case Study 2. Fix: consume the fetched entry first (the default when");
+    println!("`inject_writeback_deadlock` is off).");
+
+    let _ = client::post(addr, "/api/terminate", None);
+    let _ = sim_thread.join();
+}

@@ -1,0 +1,69 @@
+//! Quickstart: run a GPU simulation with AkitaRTM attached.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+//!
+//! Builds a small single-chiplet GPU, enqueues the FIR benchmark, starts
+//! the monitoring web server, prints its URL (open it in a browser!), and
+//! runs the simulation. Set `RTM_HOLD=1` to keep the simulation alive
+//! after it finishes so the dashboard can be explored post-mortem; press
+//! Ctrl-C or POST `/api/terminate` to exit.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use akita_gpu::{GpuConfig, Platform, PlatformConfig};
+use akita_rtm::{Monitor, RtmServer};
+use akita_workloads::{Fir, Workload};
+
+fn main() {
+    // 1. Build a platform: 8 CUs, one chiplet, default memory hierarchy.
+    let mut platform = Platform::build(PlatformConfig {
+        gpu: GpuConfig::scaled(8),
+        ..PlatformConfig::default()
+    });
+
+    // 2. Enqueue a workload: host-to-device copy, kernel, copy back.
+    let fir = Fir {
+        num_samples: 64 * 1024,
+        ..Fir::default()
+    };
+    fir.enqueue(&mut platform.driver.borrow_mut());
+    platform.start();
+
+    // 3. Attach AkitaRTM and start the web backend. From here on the
+    //    simulation is a web server.
+    let monitor = Arc::new(Monitor::attach(
+        &platform.sim,
+        platform.progress.clone(),
+        Duration::from_millis(100),
+    ));
+    let server = RtmServer::start_local(Arc::clone(&monitor)).expect("bind monitor server");
+    println!("AkitaRTM listening on {}", server.url());
+    println!("open it in a browser to watch the simulation live\n");
+
+    // 4. Run. The engine serves monitor queries between events.
+    let summary = if std::env::var("RTM_HOLD").is_ok() {
+        println!("RTM_HOLD set: simulation will stay inspectable after finishing.");
+        platform.sim.run_interactive()
+    } else {
+        platform.sim.run()
+    };
+
+    // 5. Report.
+    println!("simulation finished: {} events, {} of virtual time", summary.events, summary.end_time);
+    for bar in platform.progress.snapshot() {
+        println!(
+            "  progress `{}`: {}/{} done",
+            bar.name, bar.finished, bar.total
+        );
+    }
+    let cu = &platform.chiplets[0].cus[0];
+    let (insts, mem, wgs) = cu.borrow().stats();
+    println!(
+        "  CU[0]: {insts} instructions, {mem} memory accesses, {wgs} workgroups"
+    );
+    let (reads, writes) = platform.chiplets[0].dram.borrow().traffic();
+    println!("  DRAM: {reads} line reads, {writes} line writes");
+}

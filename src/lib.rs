@@ -1,0 +1,6 @@
+//! Facade crate re-exporting the AkitaRTM reproduction workspace.
+pub use akita;
+pub use akita_gpu as gpu;
+pub use akita_mem as mem;
+pub use akita_rtm as rtm;
+pub use akita_workloads as workloads;

@@ -1,0 +1,206 @@
+//! Workspace-level integration tests: the whole stack (engine → memory →
+//! GPU → workloads) runs every suite benchmark to completion with
+//! consistent counters.
+
+use akita_gpu::{GpuConfig, Platform, PlatformConfig};
+use akita_workloads::{suite, Workload};
+
+fn run_suite_workload(w: &dyn Workload, chiplets: usize) -> Platform {
+    let mut p = Platform::build(PlatformConfig {
+        chiplets,
+        gpu: GpuConfig::scaled(4),
+        ..PlatformConfig::default()
+    });
+    w.enqueue(&mut p.driver.borrow_mut());
+    p.start();
+    let summary = p.sim.run();
+    assert!(summary.events > 0);
+    assert!(p.driver.borrow().finished(), "{} unfinished", w.name());
+    p
+}
+
+#[test]
+fn every_benchmark_leaves_the_machine_drained() {
+    for w in suite() {
+        let p = run_suite_workload(&*w, 1);
+        for chiplet in &p.chiplets {
+            for rob in &chiplet.robs {
+                assert_eq!(
+                    rob.borrow().transactions(),
+                    0,
+                    "{}: ROB not drained",
+                    w.name()
+                );
+            }
+            for l1 in &chiplet.l1s {
+                assert_eq!(
+                    l1.borrow().transactions(),
+                    0,
+                    "{}: L1 not drained",
+                    w.name()
+                );
+            }
+            for l2 in &chiplet.l2s {
+                assert_eq!(
+                    l2.borrow().transactions(),
+                    0,
+                    "{}: L2 not drained",
+                    w.name()
+                );
+            }
+            for at in &chiplet.ats {
+                assert_eq!(
+                    at.borrow().awaiting_response(),
+                    0,
+                    "{}: AT holds unanswered requests",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cu_accesses_equal_rob_retirements() {
+    for w in suite() {
+        let p = run_suite_workload(&*w, 1);
+        let accesses: u64 = p.chiplets[0]
+            .cus
+            .iter()
+            .map(|cu| cu.borrow().stats().1)
+            .sum();
+        let retired: u64 = p.chiplets[0]
+            .robs
+            .iter()
+            .map(|rob| rob.borrow().total_retired())
+            .sum();
+        assert_eq!(
+            accesses,
+            retired,
+            "{}: every CU access must retire through its ROB",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn l1_requests_balance_hits_plus_misses() {
+    for w in suite() {
+        let p = run_suite_workload(&*w, 1);
+        for l1 in &p.chiplets[0].l1s {
+            let l1 = l1.borrow();
+            let (hits, misses) = l1.hit_stats();
+            // Each request is classified exactly once; coalesced misses
+            // count as misses too, so hits+misses is the read count.
+            assert!(hits + misses > 0 || w.name() == "bitonic");
+            let _ = (hits, misses);
+        }
+    }
+}
+
+#[test]
+fn progress_bars_all_complete() {
+    for w in suite() {
+        let p = run_suite_workload(&*w, 1);
+        for bar in p.progress.snapshot() {
+            assert_eq!(
+                bar.finished, bar.total,
+                "{}: bar `{}` incomplete",
+                w.name(),
+                bar.name
+            );
+            assert_eq!(bar.in_progress, 0);
+        }
+    }
+}
+
+#[test]
+fn four_chiplet_fir_moves_data_across_the_network() {
+    let fir = akita_workloads::Fir {
+        num_samples: 8 * 1024,
+        ..Default::default()
+    };
+    let p = run_suite_workload(&fir, 4);
+    let rdma_traffic: u64 = p
+        .chiplets
+        .iter()
+        .map(|c| c.rdma.as_ref().expect("multi-chiplet has RDMA").borrow().traffic().0)
+        .sum();
+    assert!(rdma_traffic > 0, "interleaved pages force remote accesses");
+    // Every chiplet's DRAM serves some of the interleaved traffic.
+    for c in &p.chiplets {
+        let (reads, _) = c.dram.borrow().traffic();
+        assert!(reads > 0, "interleaving must spread lines to every chiplet");
+    }
+}
+
+#[test]
+fn simulations_are_deterministic() {
+    // Same build, same workload → identical virtual end time and event
+    // count, run-to-run (no HashMap-iteration or wall-clock leakage).
+    let run = || {
+        let fir = akita_workloads::Fir {
+            num_samples: 4 * 1024,
+            ..Default::default()
+        };
+        let mut p = Platform::build(PlatformConfig {
+            chiplets: 2,
+            gpu: GpuConfig::scaled(4),
+            ..PlatformConfig::default()
+        });
+        fir.enqueue(&mut p.driver.borrow_mut());
+        p.start();
+        let summary = p.sim.run();
+        (summary.events, summary.end_time)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical configs must replay identically");
+}
+
+mod config_fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Any sane platform geometry builds, runs a small workload to
+        /// completion, and drains — wiring is correct for every shape,
+        /// not just the configs the experiments use.
+        #[test]
+        fn any_geometry_runs_to_completion(
+            chiplets in 1usize..4,
+            cus in 1usize..6,
+            cus_per_sa in 1usize..4,
+            banks in 1usize..4,
+            frontend in proptest::bool::ANY,
+            net_bw in prop::option::of(1_000_000_000u64..64_000_000_000),
+        ) {
+            let mut gpu = GpuConfig::scaled(cus);
+            gpu.cus_per_sa = cus_per_sa;
+            gpu.num_l2_banks = banks;
+            gpu.frontend_caches = frontend;
+            let mut p = Platform::build(PlatformConfig {
+                chiplets,
+                gpu,
+                net_bandwidth: net_bw,
+                ..PlatformConfig::default()
+            });
+            let fir = akita_workloads::Fir {
+                num_samples: 2 * 1024,
+                ..Default::default()
+            };
+            use akita_workloads::Workload;
+            fir.enqueue(&mut p.driver.borrow_mut());
+            p.start();
+            let summary = p.sim.run();
+            prop_assert_eq!(summary.reason, akita::StopReason::Completed);
+            prop_assert!(p.driver.borrow().finished());
+            for chiplet in &p.chiplets {
+                for rob in &chiplet.robs {
+                    prop_assert_eq!(rob.borrow().transactions(), 0);
+                }
+            }
+        }
+    }
+}

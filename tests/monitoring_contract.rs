@@ -1,0 +1,149 @@
+//! Workspace-level tests for the monitoring contract: everything the RTM
+//! layer relies on from the simulator side, exercised on real platforms.
+
+use std::collections::HashSet;
+use std::thread;
+use std::time::Duration;
+
+use akita::RunState;
+use akita_gpu::{GpuConfig, Platform, PlatformConfig};
+use akita_workloads::{Fir, Workload};
+
+fn platform() -> Platform {
+    let mut p = Platform::build(PlatformConfig {
+        chiplets: 2,
+        gpu: GpuConfig::scaled(4),
+        ..PlatformConfig::default()
+    });
+    let fir = Fir {
+        num_samples: 16 * 1024,
+        ..Fir::default()
+    };
+    fir.enqueue(&mut p.driver.borrow_mut());
+    p.start();
+    p
+}
+
+#[test]
+fn component_names_are_unique_and_hierarchical() {
+    let mut p = platform();
+    let client = p.sim.client();
+    let probe = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(5));
+        client.components().expect("components")
+    });
+    p.sim.run();
+    let comps = probe.join().unwrap();
+    let names: Vec<&str> = comps.iter().map(|c| c.name.as_str()).collect();
+    let unique: HashSet<&&str> = names.iter().collect();
+    assert_eq!(unique.len(), names.len(), "duplicate component names");
+    // The paper's naming scheme, with chiplet/SA/slot indices.
+    assert!(names.iter().any(|n| n.starts_with("GPU[0].SA[0].L1VROB[")));
+    assert!(names.iter().any(|n| n.starts_with("GPU[1].SA[0].L1VCache[")));
+    assert!(names.contains(&"GPU[0].RDMA"));
+    assert!(names.contains(&"Driver"));
+}
+
+#[test]
+fn every_component_state_serializes_to_json() {
+    let mut p = platform();
+    let client = p.sim.client();
+    let probe = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(10));
+        let comps = client.components().expect("components");
+        let mut serialized = 0;
+        for c in &comps {
+            if let Ok(Some(dto)) = client.component_state(&c.name) {
+                let json = serde_json::to_string(&dto).expect("state serializes");
+                assert!(json.contains(&c.name));
+                serialized += 1;
+            }
+        }
+        (comps.len(), serialized)
+    });
+    p.sim.run();
+    let (total, serialized) = probe.join().unwrap();
+    assert_eq!(
+        total, serialized,
+        "every live component must serialize on demand"
+    );
+}
+
+#[test]
+fn buffer_names_match_component_names() {
+    let mut p = platform();
+    let client = p.sim.client();
+    let probe = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(10));
+        (
+            client.components().expect("components"),
+            client.buffers().expect("buffers"),
+        )
+    });
+    p.sim.run();
+    let (comps, buffers) = probe.join().unwrap();
+    assert!(!buffers.is_empty());
+    let comp_names: Vec<&str> = comps.iter().map(|c| c.name.as_str()).collect();
+    // Every port buffer belongs to some component's namespace: its name
+    // must extend a registered component name (so the frontend can anchor
+    // it in the tree).
+    let mut anchored = 0;
+    for b in &buffers {
+        if comp_names.iter().any(|c| b.name.starts_with(*c)) {
+            anchored += 1;
+        }
+    }
+    assert!(
+        anchored * 10 >= buffers.len() * 9,
+        "buffers must anchor to components: {anchored}/{}",
+        buffers.len()
+    );
+    // All buffer snapshots respect size <= capacity.
+    for b in &buffers {
+        assert!(b.size <= b.capacity, "{}: {}/{}", b.name, b.size, b.capacity);
+        assert!((0.0..=1.0).contains(&b.percent()));
+    }
+}
+
+#[test]
+fn time_is_monotonic_under_concurrent_observation() {
+    let mut p = platform();
+    let client = p.sim.client();
+    let probe = thread::spawn(move || {
+        let mut last = akita::VTime::ZERO;
+        let mut observations = 0;
+        while client.run_state() != RunState::Finished {
+            let now = client.now();
+            assert!(now >= last, "virtual time went backwards");
+            last = now;
+            observations += 1;
+            if observations > 100_000 {
+                break;
+            }
+        }
+        observations
+    });
+    p.sim.run();
+    let observations = probe.join().unwrap();
+    assert!(observations > 10, "the probe must observe the run");
+}
+
+#[test]
+fn events_handled_matches_run_summary() {
+    let mut p = platform();
+    let client = p.sim.client();
+    let summary = p.sim.run();
+    assert_eq!(client.events_handled(), summary.events);
+    assert_eq!(client.run_state(), RunState::Finished);
+}
+
+#[test]
+fn progress_registry_is_shared_between_sim_and_monitor() {
+    let mut p = platform();
+    // The monitor-side handle sees the driver/dispatcher-created bars.
+    let registry = p.progress.clone();
+    p.sim.run();
+    let bars = registry.snapshot();
+    assert!(bars.iter().any(|b| b.name.contains("memcpy")));
+    assert!(bars.iter().any(|b| b.name.contains("kernel")));
+}
