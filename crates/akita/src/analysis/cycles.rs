@@ -1,0 +1,373 @@
+//! Cycle detection: static (potential) and runtime (actual) circular waits.
+//!
+//! The static side runs Tarjan's SCC algorithm over the backpressure
+//! over-approximation of the wiring graph — any strongly connected set of
+//! components *could* sustain a circular wait if every buffer along it
+//! fills. The runtime side rebuilds the wait-for graph from what is
+//! actually blocked right now (rejected senders, stalled link heads,
+//! saturated state containers) and names the concrete cycle, which is how
+//! the paper's Case Study 2 hang becomes a one-line diagnosis instead of a
+//! debugger session.
+
+use super::graph::WiringGraph;
+use super::report::{CycleFinding, DeadlockReport, Suspect, WaitFor};
+use crate::ids::ComponentId;
+use crate::state::Value;
+
+/// Iterative Tarjan strongly-connected components. Returns each SCC as a
+/// list of node indices; singletons are included (filter by size or
+/// self-loop as needed). Iterative so deep component chains cannot
+/// overflow the stack.
+fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut next_index = 0usize;
+    let mut call: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        call.push((start, 0));
+        while let Some(frame) = call.last_mut() {
+            let (v, child) = (frame.0, frame.1);
+            if child < adj[v].len() {
+                frame.1 += 1;
+                let w = adj[v][child];
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(parent) = call.last() {
+                    let u = parent.0;
+                    low[u] = low[u].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack invariant");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Finds every potential backpressure cycle in the static wiring graph.
+///
+/// Over-approximate by construction (attachment implies flow both ways),
+/// so results are reported as informational [`CycleFinding`]s rather than
+/// errors.
+pub(crate) fn static_cycles(graph: &WiringGraph) -> Vec<CycleFinding> {
+    let adj = graph.backpressure_digraph();
+    let mut cycles: Vec<CycleFinding> = tarjan_sccs(&adj)
+        .into_iter()
+        .filter(|scc| scc.len() > 1)
+        .map(|scc| {
+            let mut members: Vec<String> = scc
+                .into_iter()
+                .map(|i| graph.name_of(ComponentId::from_index(i)))
+                .collect();
+            members.sort();
+            CycleFinding { members }
+        })
+        .collect();
+    cycles.sort_by(|a, b| a.members.cmp(&b.members));
+    cycles
+}
+
+/// Rebuilds the runtime wait-for graph and reports actual blocked cycles.
+///
+/// Wait edges always reflect current backpressure; saturation self-edges
+/// and suspects are only derived when the engine has quiesced, because a
+/// full buffer mid-run is normal operation while a full buffer with no
+/// pending events is a component that can never drain itself.
+pub(crate) fn runtime_analysis(graph: &WiringGraph) -> DeadlockReport {
+    let n = graph.nodes.len();
+    let mut edges: Vec<(usize, usize, String)> = Vec::new();
+    let mut suspects: Vec<Suspect> = Vec::new();
+
+    for conn in &graph.conns {
+        let conn_name = graph.name_of(conn.id);
+        for wait in &conn.waits {
+            let port = graph.port(wait.dst_port);
+            let port_name = port.map_or_else(|| wait.dst_port.to_string(), |p| p.name.clone());
+            for &sender in &wait.blocked_senders {
+                if sender.index() < n {
+                    edges.push((
+                        sender.index(),
+                        conn.id.index(),
+                        format!(
+                            "send through {conn_name} rejected: link to {port_name} \
+                             full ({}/{})",
+                            wait.queued, wait.cap
+                        ),
+                    ));
+                }
+            }
+            if wait.stalled {
+                if let Some(owner) = port.and_then(|p| p.owner) {
+                    if owner.index() < n {
+                        let (len, cap) = port.map_or((0, 0), |p| (p.buf_len, p.buf_cap));
+                        edges.push((
+                            conn.id.index(),
+                            owner.index(),
+                            format!("delivery stalled: {port_name} buffer full ({len}/{cap})"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    if graph.quiesced {
+        for (i, node) in graph.nodes.iter().enumerate() {
+            if graph.conn_ids.contains(&ComponentId::from_index(i)) {
+                continue;
+            }
+            for field in &node.state.fields {
+                match &field.value {
+                    Value::Size {
+                        len,
+                        cap: Some(cap),
+                    } if *cap > 0 && len >= cap => {
+                        let reason = format!(
+                            "container '{}' saturated ({len}/{cap}) with no pending \
+                             events",
+                            field.name
+                        );
+                        edges.push((i, i, reason.clone()));
+                        suspects.push(Suspect {
+                            component: node.name.clone(),
+                            reason,
+                        });
+                    }
+                    Value::Bool(true) if field.name == "wedged" => {
+                        suspects.push(Suspect {
+                            component: node.name.clone(),
+                            reason: "component reports wedged = true".to_owned(),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for p in &graph.ports {
+            if p.buf_len > 0 {
+                if let Some(owner) = p.owner {
+                    suspects.push(Suspect {
+                        component: graph.name_of(owner),
+                        reason: format!(
+                            "{} undelivered message(s) waiting in {}",
+                            p.buf_len, p.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    let mut adj = vec![Vec::new(); n];
+    let mut self_loops = vec![false; n];
+    for &(from, to, _) in &edges {
+        adj[from].push(to);
+        if from == to {
+            self_loops[from] = true;
+        }
+    }
+    let mut cycles: Vec<Vec<String>> = tarjan_sccs(&adj)
+        .into_iter()
+        .filter(|scc| scc.len() > 1 || (scc.len() == 1 && self_loops[scc[0]]))
+        .map(|scc| {
+            let mut members: Vec<String> = scc
+                .into_iter()
+                .map(|i| graph.name_of(ComponentId::from_index(i)))
+                .collect();
+            members.sort();
+            members
+        })
+        .collect();
+    cycles.sort();
+
+    let mut wait_edges: Vec<WaitFor> = edges
+        .into_iter()
+        .map(|(from, to, reason)| WaitFor {
+            from: graph.name_of(ComponentId::from_index(from)),
+            to: graph.name_of(ComponentId::from_index(to)),
+            reason,
+        })
+        .collect();
+    wait_edges.sort_by(|a, b| (&a.from, &a.to, &a.reason).cmp(&(&b.from, &b.to, &b.reason)));
+    wait_edges.dedup();
+    suspects.sort_by(|a, b| (&a.component, &a.reason).cmp(&(&b.component, &b.reason)));
+    suspects.dedup();
+
+    DeadlockReport {
+        quiesced: graph.quiesced,
+        in_flight: graph.in_flight(),
+        wait_edges,
+        cycles,
+        suspects,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{CompBase, Component};
+    use crate::conn::DirectConnection;
+    use crate::engine::{Ctx, Simulation};
+    use crate::port::Port;
+    use crate::state::ComponentState;
+    use crate::time::VTime;
+
+    #[test]
+    fn tarjan_finds_known_sccs() {
+        // 0 -> 1 -> 2 -> 0 (cycle), 3 -> 0 (tail), 4 isolated.
+        let adj = vec![vec![1], vec![2], vec![0], vec![0], vec![]];
+        let mut sccs: Vec<Vec<usize>> = tarjan_sccs(&adj)
+            .into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        sccs.sort();
+        assert!(sccs.contains(&vec![0, 1, 2]));
+        assert!(sccs.contains(&vec![3]));
+        assert!(sccs.contains(&vec![4]));
+    }
+
+    #[test]
+    fn tarjan_handles_self_loop_and_empty_graph() {
+        assert!(tarjan_sccs(&[]).is_empty());
+        let adj = vec![vec![0]];
+        let sccs = tarjan_sccs(&adj);
+        assert_eq!(sccs, vec![vec![0]]);
+    }
+
+    struct Node {
+        base: CompBase,
+        ports: Vec<Port>,
+        state: ComponentState,
+    }
+
+    impl Component for Node {
+        fn base(&self) -> &CompBase {
+            &self.base
+        }
+        fn base_mut(&mut self) -> &mut CompBase {
+            &mut self.base
+        }
+        fn tick(&mut self, _ctx: &mut Ctx) -> bool {
+            let _ = &self.ports;
+            false
+        }
+        fn state(&self) -> ComponentState {
+            self.state.clone()
+        }
+    }
+
+    #[test]
+    fn static_cycles_cover_connected_wiring() {
+        let mut sim = Simulation::new();
+        let reg = sim.buffer_registry();
+        let ap = Port::new(&reg, "A.Port", 4);
+        let bp = Port::new(&reg, "B.Port", 4);
+        let (aid, _) = sim.register(Node {
+            base: CompBase::new("Node", "A"),
+            ports: vec![ap.clone()],
+            state: ComponentState::new(),
+        });
+        let (bid, _) = sim.register(Node {
+            base: CompBase::new("Node", "B"),
+            ports: vec![bp.clone()],
+            state: ComponentState::new(),
+        });
+        let (_, conn) = sim.register(DirectConnection::new("Conn", VTime::from_ns(1)));
+        sim.connect(&conn, &ap, aid);
+        sim.connect(&conn, &bp, bid);
+        let cycles = static_cycles(&WiringGraph::capture(&sim));
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].members, vec!["A", "B", "Conn"]);
+    }
+
+    #[test]
+    fn saturated_container_in_quiesced_sim_is_a_self_cycle() {
+        let mut sim = Simulation::new();
+        let (_, _) = sim.register(Node {
+            base: CompBase::new("Node", "Wedged"),
+            ports: Vec::new(),
+            state: ComponentState::new()
+                .container("write_buffer", 1, Some(1))
+                .field("wedged", true),
+        });
+        let report = runtime_analysis(&WiringGraph::capture(&sim));
+        assert!(report.quiesced);
+        assert_eq!(report.cycles, vec![vec!["Wedged".to_owned()]]);
+        assert!(report
+            .suspects
+            .iter()
+            .any(|s| s.component == "Wedged" && s.reason.contains("wedged = true")));
+        assert!(report
+            .suspects
+            .iter()
+            .any(|s| s.reason.contains("write_buffer")));
+    }
+
+    #[test]
+    fn healthy_quiesced_sim_reports_nothing() {
+        let mut sim = Simulation::new();
+        sim.register(Node {
+            base: CompBase::new("Node", "A"),
+            ports: Vec::new(),
+            state: ComponentState::new().container("q", 0, Some(4)),
+        });
+        let report = runtime_analysis(&WiringGraph::capture(&sim));
+        assert!(report.quiesced);
+        assert_eq!(report.in_flight, 0);
+        assert!(report.cycles.is_empty());
+        assert!(report.suspects.is_empty());
+        assert!(!report.is_deadlocked());
+    }
+
+    #[test]
+    fn mid_run_saturation_is_not_a_cycle() {
+        let mut sim = Simulation::new();
+        let (id, _) = sim.register(Node {
+            base: CompBase::new("Node", "Busy"),
+            ports: Vec::new(),
+            state: ComponentState::new().container("q", 4, Some(4)),
+        });
+        sim.wake_at(id, VTime::from_ns(1));
+        let report = runtime_analysis(&WiringGraph::capture(&sim));
+        assert!(!report.quiesced);
+        assert!(report.cycles.is_empty());
+        assert!(report.suspects.is_empty());
+    }
+}

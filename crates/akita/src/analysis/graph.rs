@@ -1,0 +1,238 @@
+//! Wiring-graph extraction: one read-only pass over a [`Simulation`]
+//! capturing everything the lints and cycle analyses need.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::conn::LinkWait;
+use crate::engine::Simulation;
+use crate::ids::{ComponentId, PortId};
+use crate::port::PortSnapshot;
+use crate::query::TopologyEdge;
+use crate::state::ComponentState;
+use crate::time::VTime;
+
+/// A component as seen by the analyzer.
+#[derive(Debug)]
+pub(crate) struct NodeInfo {
+    /// Hierarchical name.
+    pub name: String,
+    /// Clock period in picoseconds (for the clock-mismatch lint).
+    pub period_ps: u64,
+    /// The component's observable state at capture time.
+    pub state: ComponentState,
+}
+
+/// A connection as seen by the analyzer.
+#[derive(Debug)]
+pub(crate) struct ConnInfo {
+    /// The connection's component id.
+    pub id: ComponentId,
+    /// Ports attached to it.
+    pub endpoints: Vec<PortId>,
+    /// Per-link wait dependencies at capture time.
+    pub waits: Vec<LinkWait>,
+}
+
+/// The full wiring graph of a simulation, captured in one pass.
+#[derive(Debug)]
+pub(crate) struct WiringGraph {
+    /// Virtual time at capture.
+    pub now: VTime,
+    /// All components, indexed by [`ComponentId::index`].
+    pub nodes: Vec<NodeInfo>,
+    /// Component ids that are connections.
+    pub conn_ids: HashSet<ComponentId>,
+    /// All registered connections.
+    pub conns: Vec<ConnInfo>,
+    /// Every live port.
+    pub ports: Vec<PortSnapshot>,
+    /// The attachment record from [`Simulation::connect`].
+    pub topology: Vec<TopologyEdge>,
+    /// Components with at least one pending event.
+    pub scheduled: HashSet<ComponentId>,
+    /// Whether the event queue was empty at capture time.
+    pub quiesced: bool,
+    port_index: HashMap<PortId, usize>,
+}
+
+impl WiringGraph {
+    /// Captures the wiring graph of `sim`. Must not be called while a
+    /// component is mutably borrowed (i.e. not from inside a tick).
+    pub(crate) fn capture(sim: &Simulation) -> WiringGraph {
+        let nodes: Vec<NodeInfo> = sim
+            .components_slice()
+            .iter()
+            .map(|rc| {
+                let c = rc.borrow();
+                NodeInfo {
+                    name: c.name().to_owned(),
+                    period_ps: c.freq().period().ps(),
+                    state: c.state(),
+                }
+            })
+            .collect();
+        let conns: Vec<ConnInfo> = sim
+            .connections_map()
+            .iter()
+            .map(|(&id, rc)| {
+                let c = rc.borrow();
+                ConnInfo {
+                    id,
+                    endpoints: c.endpoints(),
+                    waits: c.link_waits(),
+                }
+            })
+            .collect();
+        let conn_ids: HashSet<ComponentId> = conns.iter().map(|c| c.id).collect();
+        let ports = sim.buffer_registry().port_snapshots();
+        let port_index = ports.iter().enumerate().map(|(i, p)| (p.id, i)).collect();
+        WiringGraph {
+            now: sim.now(),
+            nodes,
+            conn_ids,
+            conns,
+            ports,
+            topology: sim.topology().to_vec(),
+            scheduled: sim.scheduled_set(),
+            quiesced: sim.queue_is_empty(),
+            port_index,
+        }
+    }
+
+    /// The name of a component, or a placeholder for ids the analyzer has
+    /// never seen registered.
+    pub(crate) fn name_of(&self, id: ComponentId) -> String {
+        self.nodes.get(id.index()).map_or_else(
+            || format!("<component #{}>", id.index()),
+            |n| n.name.clone(),
+        )
+    }
+
+    /// Looks up a captured port snapshot by id.
+    pub(crate) fn port(&self, id: PortId) -> Option<&PortSnapshot> {
+        self.port_index.get(&id).map(|&i| &self.ports[i])
+    }
+
+    /// The undirected port-attachment adjacency between components:
+    /// `owner <-> connection` for every attached, owned port. Used by the
+    /// reachability lint.
+    pub(crate) fn attachment_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for p in &self.ports {
+            if let (Some(owner), Some(conn)) = (p.owner, p.connection) {
+                let (o, c) = (owner.index(), conn.index());
+                if o < adj.len() && c < adj.len() && o != c {
+                    adj[o].push(c);
+                    adj[c].push(o);
+                }
+            }
+        }
+        adj
+    }
+
+    /// The directed backpressure over-approximation: `owner -> connection`
+    /// (the owner can fill the connection's links) and
+    /// `connection -> owner` (a full port buffer stalls the connection)
+    /// for every attached, owned port. Used by the static cycle detector.
+    pub(crate) fn backpressure_digraph(&self) -> Vec<Vec<usize>> {
+        // Port attachment implies message flow both ways, so the digraph
+        // coincides with the undirected adjacency; kept separate so a
+        // future direction annotation can tighten only this side.
+        self.attachment_adjacency()
+    }
+
+    /// Messages sitting undelivered in port buffers and link queues.
+    pub(crate) fn in_flight(&self) -> usize {
+        let buffered: usize = self.ports.iter().map(|p| p.buf_len).sum();
+        let queued: usize = self
+            .conns
+            .iter()
+            .flat_map(|c| c.waits.iter())
+            .map(|w| w.queued)
+            .sum();
+        buffered + queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{CompBase, Component};
+    use crate::conn::DirectConnection;
+    use crate::engine::Ctx;
+    use crate::port::Port;
+    use crate::time::VTime;
+
+    struct Node {
+        base: CompBase,
+        port: Port,
+    }
+
+    impl Component for Node {
+        fn base(&self) -> &CompBase {
+            &self.base
+        }
+        fn base_mut(&mut self) -> &mut CompBase {
+            &mut self.base
+        }
+        fn tick(&mut self, _ctx: &mut Ctx) -> bool {
+            let _ = &self.port;
+            false
+        }
+    }
+
+    fn two_node_sim() -> Simulation {
+        let mut sim = Simulation::new();
+        let reg = sim.buffer_registry();
+        let a_port = Port::new(&reg, "A.Port", 2);
+        let b_port = Port::new(&reg, "B.Port", 2);
+        let (a, _) = sim.register(Node {
+            base: CompBase::new("Node", "A"),
+            port: a_port.clone(),
+        });
+        let (b, _) = sim.register(Node {
+            base: CompBase::new("Node", "B"),
+            port: b_port.clone(),
+        });
+        let (_, conn) = sim.register(DirectConnection::new("Conn", VTime::from_ns(1)));
+        sim.connect(&conn, &a_port, a);
+        sim.connect(&conn, &b_port, b);
+        sim
+    }
+
+    #[test]
+    fn capture_sees_components_ports_and_connections() {
+        let sim = two_node_sim();
+        let g = WiringGraph::capture(&sim);
+        assert_eq!(g.nodes.len(), 3);
+        assert_eq!(g.conns.len(), 1);
+        assert_eq!(g.ports.len(), 2);
+        assert_eq!(g.conns[0].endpoints.len(), 2);
+        assert!(g.quiesced);
+        assert_eq!(g.in_flight(), 0);
+        let port = g.port(g.ports[0].id).unwrap();
+        assert!(port.owner.is_some());
+        assert!(port.connection.is_some());
+    }
+
+    #[test]
+    fn adjacency_links_owners_through_connections() {
+        let sim = two_node_sim();
+        let g = WiringGraph::capture(&sim);
+        let adj = g.attachment_adjacency();
+        // A(0) and B(1) each touch Conn(2); Conn touches both.
+        assert_eq!(adj[0], vec![2]);
+        assert_eq!(adj[1], vec![2]);
+        let mut conn_nbrs = adj[2].clone();
+        conn_nbrs.sort_unstable();
+        assert_eq!(conn_nbrs, vec![0, 1]);
+    }
+
+    #[test]
+    fn name_of_handles_unknown_ids() {
+        let sim = two_node_sim();
+        let g = WiringGraph::capture(&sim);
+        assert_eq!(g.name_of(ComponentId::from_index(0)), "A");
+        assert!(g.name_of(ComponentId::from_index(99)).contains("#99"));
+    }
+}

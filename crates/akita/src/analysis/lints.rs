@@ -1,0 +1,431 @@
+//! Structural lints over a captured [`WiringGraph`].
+//!
+//! Each check is pure (graph in, findings out) and conservative about
+//! severity: only defects that *will* misbehave at runtime are errors;
+//! over-approximate or merely suspicious patterns are warnings or info.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use super::graph::WiringGraph;
+use super::report::{LintFinding, Severity};
+use crate::state::Value;
+
+/// Runs every structural lint, returning findings in check order.
+pub(crate) fn run(graph: &WiringGraph) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    unattached_ports(graph, &mut findings);
+    duplicate_attachments(graph, &mut findings);
+    duplicate_port_names(graph, &mut findings);
+    single_endpoint_connections(graph, &mut findings);
+    unreachable_components(graph, &mut findings);
+    small_buffers(graph, &mut findings);
+    zero_capacity_containers(graph, &mut findings);
+    clock_mismatches(graph, &mut findings);
+    findings
+}
+
+fn finding(
+    severity: Severity,
+    code: &str,
+    subject: impl Into<String>,
+    detail: impl Into<String>,
+) -> LintFinding {
+    LintFinding {
+        severity,
+        code: code.to_owned(),
+        subject: subject.into(),
+        detail: detail.into(),
+    }
+}
+
+/// `unattached-port`: a port that exists but is not wired to any
+/// connection. Any send through it panics, and messages can never arrive.
+fn unattached_ports(graph: &WiringGraph, out: &mut Vec<LintFinding>) {
+    for p in &graph.ports {
+        if p.connection.is_none() {
+            let owner = match p.owner {
+                Some(id) => format!("owned by {}", graph.name_of(id)),
+                None => "no owner assigned".to_owned(),
+            };
+            out.push(finding(
+                Severity::Warning,
+                "unattached-port",
+                p.name.clone(),
+                format!(
+                    "port is not attached to any connection ({owner}); sending through it panics"
+                ),
+            ));
+        }
+    }
+}
+
+/// `duplicate-attachment`: the same (connection, port) pair recorded twice
+/// in the topology — a builder wired the same endpoint repeatedly.
+fn duplicate_attachments(graph: &WiringGraph, out: &mut Vec<LintFinding>) {
+    let mut seen: HashSet<(&str, &str)> = HashSet::new();
+    for edge in &graph.topology {
+        if !seen.insert((edge.connection.as_str(), edge.port.as_str())) {
+            out.push(finding(
+                Severity::Error,
+                "duplicate-attachment",
+                edge.port.clone(),
+                format!("attached to connection {} more than once", edge.connection),
+            ));
+        }
+    }
+}
+
+/// `duplicate-port-name`: two live ports share a hierarchical name, which
+/// makes monitor output and lint subjects ambiguous.
+fn duplicate_port_names(graph: &WiringGraph, out: &mut Vec<LintFinding>) {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for p in &graph.ports {
+        *counts.entry(p.name.as_str()).or_default() += 1;
+    }
+    for (name, n) in counts {
+        if n > 1 {
+            out.push(finding(
+                Severity::Warning,
+                "duplicate-port-name",
+                name,
+                format!("{n} live ports share this name"),
+            ));
+        }
+    }
+}
+
+/// `single-endpoint-connection`: a connection with fewer than two attached
+/// ports can never carry a message between components.
+fn single_endpoint_connections(graph: &WiringGraph, out: &mut Vec<LintFinding>) {
+    for conn in &graph.conns {
+        if conn.endpoints.len() < 2 {
+            out.push(finding(
+                Severity::Warning,
+                "single-endpoint-connection",
+                graph.name_of(conn.id),
+                format!(
+                    "connection has {} attached port(s); it can never deliver between components",
+                    conn.endpoints.len()
+                ),
+            ));
+        }
+    }
+}
+
+/// `unreachable-component`: a component that has no pending event and
+/// cannot be woken by any chain of message deliveries starting from a
+/// scheduled component. It will never tick.
+fn unreachable_components(graph: &WiringGraph, out: &mut Vec<LintFinding>) {
+    if graph.scheduled.is_empty() {
+        out.push(finding(
+            Severity::Info,
+            "unreachable-component",
+            "<simulation>",
+            "no events are scheduled, so every component is dormant; \
+             reachability lint skipped (schedule initial work first)",
+        ));
+        return;
+    }
+    let adj = graph.attachment_adjacency();
+    let mut reached = vec![false; graph.nodes.len()];
+    let mut work: VecDeque<usize> = graph
+        .scheduled
+        .iter()
+        .map(|id| id.index())
+        .filter(|&i| i < reached.len())
+        .collect();
+    for &i in &work {
+        reached[i] = true;
+    }
+    while let Some(i) = work.pop_front() {
+        for &j in &adj[i] {
+            if !reached[j] {
+                reached[j] = true;
+                work.push_back(j);
+            }
+        }
+    }
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if !reached[i] {
+            out.push(finding(
+                Severity::Warning,
+                "unreachable-component",
+                node.name.clone(),
+                "no pending event and no wiring path from any scheduled \
+                 component; it will never tick",
+            ));
+        }
+    }
+}
+
+/// `small-buffer`: a port whose incoming buffer holds at most one message
+/// serializes its producer completely and is a classic deadlock enabler
+/// (paper Case Study 2's write buffer).
+fn small_buffers(graph: &WiringGraph, out: &mut Vec<LintFinding>) {
+    for p in &graph.ports {
+        if p.buf_cap <= 1 {
+            out.push(finding(
+                Severity::Warning,
+                "small-buffer",
+                format!("{}.Buf", p.name),
+                format!(
+                    "incoming buffer capacity is {}; a single stalled message \
+                     blocks the whole link",
+                    p.buf_cap
+                ),
+            ));
+        }
+    }
+}
+
+/// `zero-capacity-container` / `small-container`: bounded state containers
+/// that can hold nothing (error — nothing can ever pass through) or one
+/// item (warning — see `small-buffer`).
+fn zero_capacity_containers(graph: &WiringGraph, out: &mut Vec<LintFinding>) {
+    for node in &graph.nodes {
+        for field in &node.state.fields {
+            if let Value::Size { cap: Some(cap), .. } = field.value {
+                let subject = format!("{}.{}", node.name, field.name);
+                if cap == 0 {
+                    out.push(finding(
+                        Severity::Error,
+                        "zero-capacity-container",
+                        subject,
+                        "bounded container has capacity 0; every insert is refused",
+                    ));
+                } else if cap == 1 {
+                    out.push(finding(
+                        Severity::Warning,
+                        "small-container",
+                        subject,
+                        "bounded container has capacity 1; a single stuck entry \
+                         wedges the component",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `clock-mismatch`: the components on the two (or more) sides of a
+/// connection run in different clock domains. Often intentional; flagged
+/// as info because it is a common source of surprising latencies.
+fn clock_mismatches(graph: &WiringGraph, out: &mut Vec<LintFinding>) {
+    for conn in &graph.conns {
+        let mut periods: Vec<(u64, String)> = Vec::new();
+        for &pid in &conn.endpoints {
+            let Some(port) = graph.port(pid) else {
+                continue;
+            };
+            let Some(owner) = port.owner else { continue };
+            let Some(node) = graph.nodes.get(owner.index()) else {
+                continue;
+            };
+            if !periods.iter().any(|(p, _)| *p == node.period_ps) {
+                periods.push((node.period_ps, node.name.clone()));
+            }
+        }
+        if periods.len() > 1 {
+            periods.sort();
+            let detail = periods
+                .iter()
+                .map(|(ps, name)| format!("{name} @ {ps} ps/cycle"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(finding(
+                Severity::Info,
+                "clock-mismatch",
+                graph.name_of(conn.id),
+                format!("endpoints span multiple clock domains: {detail}"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{CompBase, Component};
+    use crate::conn::DirectConnection;
+    use crate::engine::{Ctx, Simulation};
+    use crate::port::Port;
+    use crate::state::ComponentState;
+    use crate::time::{Freq, VTime};
+
+    struct Node {
+        base: CompBase,
+        ports: Vec<Port>,
+        state: ComponentState,
+    }
+
+    impl Component for Node {
+        fn base(&self) -> &CompBase {
+            &self.base
+        }
+        fn base_mut(&mut self) -> &mut CompBase {
+            &mut self.base
+        }
+        fn tick(&mut self, _ctx: &mut Ctx) -> bool {
+            let _ = &self.ports;
+            false
+        }
+        fn state(&self) -> ComponentState {
+            self.state.clone()
+        }
+    }
+
+    fn node(name: &str) -> Node {
+        Node {
+            base: CompBase::new("Node", name),
+            ports: Vec::new(),
+            state: ComponentState::new(),
+        }
+    }
+
+    fn codes(findings: &[LintFinding]) -> Vec<&str> {
+        findings.iter().map(|f| f.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_two_node_topology_has_no_warnings_or_errors() {
+        let mut sim = Simulation::new();
+        let reg = sim.buffer_registry();
+        let ap = Port::new(&reg, "A.Port", 4);
+        let bp = Port::new(&reg, "B.Port", 4);
+        let mut a = node("A");
+        a.ports.push(ap.clone());
+        let mut b = node("B");
+        b.ports.push(bp.clone());
+        let (aid, _) = sim.register(a);
+        let (bid, _) = sim.register(b);
+        let (_, conn) = sim.register(DirectConnection::new("Conn", VTime::from_ns(1)));
+        sim.connect(&conn, &ap, aid);
+        sim.connect(&conn, &bp, bid);
+        sim.wake_at(aid, VTime::ZERO);
+        let findings = run(&WiringGraph::capture(&sim));
+        assert!(
+            findings.iter().all(|f| f.severity == Severity::Info),
+            "unexpected findings: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn unattached_port_is_flagged() {
+        let mut sim = Simulation::new();
+        let reg = sim.buffer_registry();
+        let mut a = node("A");
+        a.ports.push(Port::new(&reg, "A.Loose", 4));
+        let (aid, _) = sim.register(a);
+        sim.wake_at(aid, VTime::ZERO);
+        let findings = run(&WiringGraph::capture(&sim));
+        let f = findings
+            .iter()
+            .find(|f| f.code == "unattached-port")
+            .expect("loose port flagged");
+        assert_eq!(f.subject, "A.Loose");
+        assert_eq!(f.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn unreachable_component_is_flagged() {
+        let mut sim = Simulation::new();
+        let (aid, _) = sim.register(node("A"));
+        let (_bid, _) = sim.register(node("Island"));
+        sim.wake_at(aid, VTime::ZERO);
+        let findings = run(&WiringGraph::capture(&sim));
+        let unreachable: Vec<_> = findings
+            .iter()
+            .filter(|f| f.code == "unreachable-component")
+            .collect();
+        assert_eq!(unreachable.len(), 1);
+        assert_eq!(unreachable[0].subject, "Island");
+    }
+
+    #[test]
+    fn no_scheduled_events_downgrades_reachability_to_info() {
+        let mut sim = Simulation::new();
+        sim.register(node("A"));
+        let findings = run(&WiringGraph::capture(&sim));
+        let f = findings
+            .iter()
+            .find(|f| f.code == "unreachable-component")
+            .unwrap();
+        assert_eq!(f.severity, Severity::Info);
+        assert_eq!(f.subject, "<simulation>");
+    }
+
+    #[test]
+    fn tiny_buffers_and_containers_are_flagged() {
+        let mut sim = Simulation::new();
+        let reg = sim.buffer_registry();
+        let ap = Port::new(&reg, "A.Port", 1);
+        let mut a = node("A");
+        a.ports.push(ap.clone());
+        a.state = ComponentState::new()
+            .container("write_buffer", 0, Some(1))
+            .container("broken", 0, Some(0))
+            .container("fine", 0, Some(16));
+        let (aid, _) = sim.register(a);
+        let (_, conn) = sim.register(DirectConnection::new("Conn", VTime::from_ns(1)));
+        sim.connect(&conn, &ap, aid);
+        sim.wake_at(aid, VTime::ZERO);
+        let findings = run(&WiringGraph::capture(&sim));
+        let cs = codes(&findings);
+        assert!(cs.contains(&"small-buffer"));
+        assert!(cs.contains(&"small-container"));
+        assert!(cs.contains(&"zero-capacity-container"));
+        let zero = findings
+            .iter()
+            .find(|f| f.code == "zero-capacity-container")
+            .unwrap();
+        assert_eq!(zero.severity, Severity::Error);
+        assert_eq!(zero.subject, "A.broken");
+    }
+
+    #[test]
+    fn clock_mismatch_across_connection_is_info() {
+        let mut sim = Simulation::new();
+        let reg = sim.buffer_registry();
+        let ap = Port::new(&reg, "Fast.Port", 4);
+        let bp = Port::new(&reg, "Slow.Port", 4);
+        let mut fast = node("Fast");
+        fast.base = CompBase::new("Node", "Fast").with_freq(Freq::ghz(2));
+        fast.ports.push(ap.clone());
+        let mut slow = node("Slow");
+        slow.base = CompBase::new("Node", "Slow").with_freq(Freq::mhz(500));
+        slow.ports.push(bp.clone());
+        let (aid, _) = sim.register(fast);
+        let (bid, _) = sim.register(slow);
+        let (_, conn) = sim.register(DirectConnection::new("Conn", VTime::from_ns(1)));
+        sim.connect(&conn, &ap, aid);
+        sim.connect(&conn, &bp, bid);
+        sim.wake_at(aid, VTime::ZERO);
+        let findings = run(&WiringGraph::capture(&sim));
+        let f = findings
+            .iter()
+            .find(|f| f.code == "clock-mismatch")
+            .expect("mismatch flagged");
+        assert_eq!(f.severity, Severity::Info);
+        assert!(f.detail.contains("Fast"));
+        assert!(f.detail.contains("Slow"));
+    }
+
+    #[test]
+    fn single_endpoint_connection_is_flagged() {
+        let mut sim = Simulation::new();
+        let reg = sim.buffer_registry();
+        let ap = Port::new(&reg, "A.Port", 4);
+        let mut a = node("A");
+        a.ports.push(ap.clone());
+        let (aid, _) = sim.register(a);
+        let (_, conn) = sim.register(DirectConnection::new("Lonely", VTime::from_ns(1)));
+        sim.connect(&conn, &ap, aid);
+        sim.wake_at(aid, VTime::ZERO);
+        let findings = run(&WiringGraph::capture(&sim));
+        let f = findings
+            .iter()
+            .find(|f| f.code == "single-endpoint-connection")
+            .expect("lonely connection flagged");
+        assert_eq!(f.subject, "Lonely");
+    }
+}

@@ -1,0 +1,207 @@
+//! Topology linting and deadlock analysis (`akita-analyze`).
+//!
+//! AkitaRTM makes a running simulation observable; this module makes its
+//! *wiring* checkable. One call to [`Simulation::analyze`] extracts the
+//! full component/port/connection graph and produces a [`LintReport`]:
+//!
+//! - **Structural lints** ([`LintFinding`]): unattached ports, unreachable
+//!   components, pathologically small buffers and containers, clock-domain
+//!   mismatches across a link, duplicate attachments.
+//! - **Potential cycles** ([`CycleFinding`]): strongly connected components
+//!   of the static backpressure graph — the places where a deadlock *could*
+//!   form if every buffer along the loop fills.
+//! - **Runtime wait-for analysis** ([`DeadlockReport`]): what is blocked on
+//!   what *right now* — rejected senders, stalled link heads, saturated
+//!   state containers — and the actual blocked cycles among them. When the
+//!   engine quiesces with messages still in flight (the paper's Case
+//!   Study 2 signature), this names the culprit components, ports, and
+//!   buffer occupancies directly.
+//!
+//! The same report is served three ways: this API, `GET /api/analysis` on
+//! the RTM server, and the `analyze` subcommand of the CLI (which exits
+//! nonzero when [`LintReport::has_errors`] holds).
+
+mod cycles;
+mod graph;
+mod lints;
+mod report;
+
+pub use report::{
+    CycleFinding, DeadlockReport, LintFinding, LintReport, Severity, Suspect, WaitFor,
+};
+
+use crate::engine::Simulation;
+
+impl Simulation {
+    /// Lints the wiring graph and analyzes the runtime wait-for graph.
+    ///
+    /// Callable at any point: right after building (pure static lint),
+    /// mid-run through [`SimQuery::Analysis`](crate::SimQuery), or after
+    /// the event queue drained (post-mortem deadlock analysis). Must not
+    /// be called from inside a component's tick.
+    pub fn analyze(&self) -> LintReport {
+        let graph = graph::WiringGraph::capture(self);
+        let mut findings = lints::run(&graph);
+        let potential_cycles = cycles::static_cycles(&graph);
+        if !potential_cycles.is_empty() {
+            let largest = potential_cycles
+                .iter()
+                .map(|c| c.members.len())
+                .max()
+                .unwrap_or(0);
+            findings.push(LintFinding {
+                severity: Severity::Info,
+                code: "potential-backpressure-cycle".to_owned(),
+                subject: "<topology>".to_owned(),
+                detail: format!(
+                    "{} strongly connected component(s) in the wiring graph \
+                     (largest spans {largest} components) could sustain a \
+                     circular wait if their buffers fill",
+                    potential_cycles.len()
+                ),
+            });
+        }
+        let deadlock = cycles::runtime_analysis(&graph);
+        // Most severe first; stable sort keeps check order within a level.
+        findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+        LintReport {
+            now: graph.now,
+            components: graph.nodes.len(),
+            connections: graph.conns.len(),
+            ports: graph.ports.len(),
+            findings,
+            potential_cycles,
+            deadlock,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::component::{CompBase, Component};
+    use crate::conn::{Connection, DirectConnection, SendError};
+    use crate::engine::{Ctx, Simulation};
+    use crate::ids::PortId;
+    use crate::impl_msg;
+    use crate::msg::{Msg, MsgMeta};
+    use crate::port::Port;
+    use crate::time::VTime;
+
+    #[derive(Debug)]
+    struct Ping {
+        meta: MsgMeta,
+    }
+    impl_msg!(Ping);
+
+    struct Node {
+        base: CompBase,
+        port: Port,
+    }
+
+    impl Component for Node {
+        fn base(&self) -> &CompBase {
+            &self.base
+        }
+        fn base_mut(&mut self) -> &mut CompBase {
+            &mut self.base
+        }
+        fn tick(&mut self, _ctx: &mut Ctx) -> bool {
+            let _ = &self.port;
+            false
+        }
+    }
+
+    #[test]
+    fn analyze_reports_counts_and_sorted_findings() {
+        let mut sim = Simulation::new();
+        let reg = sim.buffer_registry();
+        let ap = Port::new(&reg, "A.Port", 4);
+        let bp = Port::new(&reg, "B.Port", 4);
+        let (aid, _) = sim.register(Node {
+            base: CompBase::new("Node", "A"),
+            port: ap.clone(),
+        });
+        let (bid, _) = sim.register(Node {
+            base: CompBase::new("Node", "B"),
+            port: bp.clone(),
+        });
+        let (_, conn) = sim.register(DirectConnection::new("Conn", VTime::from_ns(1)));
+        sim.connect(&conn, &ap, aid);
+        sim.connect(&conn, &bp, bid);
+        sim.wake_at(aid, VTime::ZERO);
+        let report = sim.analyze();
+        assert_eq!(report.components, 3);
+        assert_eq!(report.connections, 1);
+        assert_eq!(report.ports, 2);
+        assert!(!report.has_errors());
+        assert_eq!(report.potential_cycles.len(), 1);
+        assert!(report
+            .findings
+            .windows(2)
+            .all(|w| w[0].severity >= w[1].severity));
+    }
+
+    /// Satellite: a send to a port that was never attached surfaces as a
+    /// structured [`SendError::NotAttached`] from the connection (not a
+    /// panic inside it), carrying enough context for the lint pass and for
+    /// `Port::send`'s diagnostic.
+    #[test]
+    fn push_msg_to_unattached_destination_is_a_structured_error() {
+        let mut sim = Simulation::new();
+        let reg = sim.buffer_registry();
+        let ap = Port::new(&reg, "A.Port", 4);
+        let (aid, _) = sim.register(Node {
+            base: CompBase::new("Node", "A"),
+            port: ap.clone(),
+        });
+        let (_, conn) = sim.register(DirectConnection::new("Conn", VTime::from_ns(1)));
+        sim.connect(&conn, &ap, aid);
+
+        let stranger = PortId::fresh();
+        let msg: Box<dyn Msg> = Box::new(Ping {
+            meta: MsgMeta::new(ap.id(), stranger, 4),
+        });
+        let mut ctx = sim.ctx();
+        let err = conn
+            .borrow_mut()
+            .push_msg(&mut ctx, msg)
+            .expect_err("unattached destination must not be accepted");
+        match err {
+            SendError::NotAttached {
+                connection, dst, ..
+            } => {
+                assert_eq!(connection, "Conn");
+                assert_eq!(dst, stranger);
+            }
+            SendError::Busy(_) => panic!("expected NotAttached, got Busy"),
+        }
+    }
+
+    /// The wiring bug behind `NotAttached` shows up in the static lint as
+    /// an unattached destination port, before any message is sent.
+    #[test]
+    fn lint_flags_the_wiring_that_would_produce_not_attached() {
+        let mut sim = Simulation::new();
+        let reg = sim.buffer_registry();
+        let ap = Port::new(&reg, "A.Port", 4);
+        // B's port exists but is never connected: a message addressed to it
+        // through Conn would hit SendError::NotAttached at runtime.
+        let bp = Port::new(&reg, "B.Port", 4);
+        let (aid, _) = sim.register(Node {
+            base: CompBase::new("Node", "A"),
+            port: ap.clone(),
+        });
+        let (_bid, _) = sim.register(Node {
+            base: CompBase::new("Node", "B"),
+            port: bp.clone(),
+        });
+        let (_, conn) = sim.register(DirectConnection::new("Conn", VTime::from_ns(1)));
+        sim.connect(&conn, &ap, aid);
+        sim.wake_at(aid, VTime::ZERO);
+        let report = sim.analyze();
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "unattached-port" && f.subject == "B.Port"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Report DTOs for the topology lint and deadlock analyzer.
+//!
+//! These are the JSON shapes served by `GET /api/analysis` and printed by
+//! `rtm-sim analyze`; everything here is plain data so the monitoring side
+//! can render it without touching simulation state.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::VTime;
+
+/// How serious a lint finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Severity {
+    /// Worth knowing; never fails a build.
+    Info,
+    /// Suspicious wiring that deserves a look (over-approximate checks
+    /// report here).
+    Warning,
+    /// A definite wiring bug; `rtm-sim analyze` exits nonzero.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One structural lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintFinding {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Stable machine-readable check name, e.g. `unattached-port`.
+    pub code: String,
+    /// What the finding is about (component, port, or buffer name).
+    pub subject: String,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.subject, self.detail
+        )
+    }
+}
+
+/// A potential backpressure cycle found statically (one strongly connected
+/// component of the wiring graph).
+///
+/// Static analysis cannot know message directions, so it over-approximates:
+/// every component that *can* send through a connection is assumed to.
+/// Members therefore include everything that could participate in a
+/// circular wait, which is a superset of any actual deadlock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleFinding {
+    /// Component names in the cycle (connections included), sorted.
+    pub members: Vec<String>,
+}
+
+/// One edge of the runtime wait-for graph: `from` cannot make progress
+/// until `to` does.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitFor {
+    /// The blocked component.
+    pub from: String,
+    /// The component it waits on.
+    pub to: String,
+    /// Why, with port/buffer names and occupancy.
+    pub reason: String,
+}
+
+/// A component implicated in a quiesced-with-work-left state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Suspect {
+    /// The component's name.
+    pub component: String,
+    /// The evidence (saturated container, undelivered messages, or a
+    /// self-reported `wedged` flag).
+    pub reason: String,
+}
+
+/// What the runtime wait-for analyzer saw.
+///
+/// Meaningful when the engine has quiesced (`quiesced` true) with work
+/// still in flight — the signature of a hang (paper Case Study 2). During
+/// a healthy run the fields simply describe transient backpressure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct DeadlockReport {
+    /// Whether the event queue was empty at analysis time.
+    pub quiesced: bool,
+    /// Undelivered messages across port buffers and connection links.
+    pub in_flight: usize,
+    /// The observed wait-for edges.
+    pub wait_edges: Vec<WaitFor>,
+    /// Actual blocked cycles in the wait-for graph, each a list of
+    /// component names (a single name = a component wedged on itself).
+    pub cycles: Vec<Vec<String>>,
+    /// Components implicated by saturated state or undelivered messages.
+    pub suspects: Vec<Suspect>,
+}
+
+impl DeadlockReport {
+    /// Whether this looks like a deadlock: the engine quiesced with
+    /// messages still in flight.
+    pub fn is_deadlocked(&self) -> bool {
+        self.quiesced && self.in_flight > 0
+    }
+}
+
+/// The complete output of [`Simulation::analyze`](crate::Simulation::analyze).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct LintReport {
+    /// Virtual time at analysis.
+    pub now: VTime,
+    /// Registered components (connections included).
+    pub components: usize,
+    /// Registered connections.
+    pub connections: usize,
+    /// Live ports.
+    pub ports: usize,
+    /// Structural findings, most severe first.
+    pub findings: Vec<LintFinding>,
+    /// Potential backpressure cycles (static, over-approximate).
+    pub potential_cycles: Vec<CycleFinding>,
+    /// The runtime wait-for analysis.
+    pub deadlock: DeadlockReport,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Whether the report should fail a linted build: any error-severity
+    /// finding, or an actual deadlock observed at runtime.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0 || self.deadlock.is_deadlocked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_displays() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = LintReport {
+            now: VTime::from_ns(5),
+            components: 2,
+            connections: 1,
+            ports: 3,
+            findings: vec![LintFinding {
+                severity: Severity::Warning,
+                code: "unattached-port".into(),
+                subject: "A.Port".into(),
+                detail: "never connected".into(),
+            }],
+            potential_cycles: vec![CycleFinding {
+                members: vec!["A".into(), "B".into()],
+            }],
+            deadlock: DeadlockReport {
+                quiesced: true,
+                in_flight: 1,
+                wait_edges: vec![WaitFor {
+                    from: "A".into(),
+                    to: "B".into(),
+                    reason: "link full".into(),
+                }],
+                cycles: vec![vec!["A".into()]],
+                suspects: vec![Suspect {
+                    component: "A".into(),
+                    reason: "wedged".into(),
+                }],
+            },
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: LintReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(report.has_errors(), "a live deadlock fails the build");
+        assert_eq!(report.error_count(), 0);
+    }
+
+    #[test]
+    fn error_findings_fail_the_build() {
+        let mut report = LintReport::default();
+        assert!(!report.has_errors());
+        report.findings.push(LintFinding {
+            severity: Severity::Error,
+            code: "duplicate-attachment".into(),
+            subject: "X".into(),
+            detail: "d".into(),
+        });
+        assert!(report.has_errors());
+        assert_eq!(report.error_count(), 1);
+    }
+}

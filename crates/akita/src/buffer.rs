@@ -14,6 +14,8 @@ use std::rc::{Rc, Weak};
 
 use serde::{Deserialize, Serialize};
 
+use crate::port::{PortProbe, PortSnapshot};
+
 /// Anything that can report a fill level: the registry's view of a buffer.
 trait BufferProbe {
     fn name(&self) -> String;
@@ -82,7 +84,7 @@ impl<T: 'static> Buffer<T> {
             capacity,
             items: VecDeque::with_capacity(capacity.min(64)),
         }));
-        registry.register(Rc::clone(&inner) as Rc<dyn BufferProbe>);
+        registry.register(&(Rc::clone(&inner) as Rc<dyn BufferProbe>));
         Buffer { inner }
     }
 
@@ -217,6 +219,10 @@ impl BufferSnapshot {
 #[derive(Clone, Default)]
 pub struct BufferRegistry {
     entries: Rc<RefCell<Vec<Weak<dyn BufferProbe>>>>,
+    /// Every live [`crate::Port`], for topology analysis. The registry is
+    /// already threaded through all port constructors, so it doubles as
+    /// the port registry.
+    ports: Rc<RefCell<Vec<Weak<dyn PortProbe>>>>,
 }
 
 impl BufferRegistry {
@@ -225,8 +231,24 @@ impl BufferRegistry {
         Self::default()
     }
 
-    fn register(&self, probe: Rc<dyn BufferProbe>) {
-        self.entries.borrow_mut().push(Rc::downgrade(&probe));
+    fn register(&self, probe: &Rc<dyn BufferProbe>) {
+        self.entries.borrow_mut().push(Rc::downgrade(probe));
+    }
+
+    pub(crate) fn register_port(&self, probe: &Rc<dyn PortProbe>) {
+        self.ports.borrow_mut().push(Rc::downgrade(probe));
+    }
+
+    /// Snapshots every live port (id, name, owner, attachment, buffer
+    /// level), pruning dead entries.
+    pub fn port_snapshots(&self) -> Vec<PortSnapshot> {
+        let mut ports = self.ports.borrow_mut();
+        ports.retain(|w| w.strong_count() > 0);
+        ports
+            .iter()
+            .filter_map(Weak::upgrade)
+            .map(|probe| probe.port_snapshot())
+            .collect()
     }
 
     /// Number of live buffers.

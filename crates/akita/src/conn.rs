@@ -25,6 +25,35 @@ pub enum SendError {
     /// The link toward the destination is full; the message is handed back
     /// and the sender will be woken when space frees up.
     Busy(Box<dyn Msg>),
+    /// The destination port was never attached to this connection — a
+    /// wiring bug, not a runtime condition. The static lint pass
+    /// ([`crate::analysis`]) flags the topologies that can produce this
+    /// before the first message is ever sent.
+    NotAttached {
+        /// Name of the connection the send went through.
+        connection: String,
+        /// The destination port that is not an endpoint of it.
+        dst: PortId,
+        /// The undeliverable message.
+        msg: Box<dyn Msg>,
+    },
+}
+
+/// One wait dependency observed inside a connection at runtime, used by the
+/// deadlock analyzer ([`crate::analysis`]) to build the wait-for graph.
+#[derive(Debug, Clone)]
+pub struct LinkWait {
+    /// The destination port of this link.
+    pub dst_port: PortId,
+    /// Messages currently queued on the link.
+    pub queued: usize,
+    /// Link queue capacity.
+    pub cap: usize,
+    /// Whether the head-of-line delivery is stalled on a full destination
+    /// buffer.
+    pub stalled: bool,
+    /// Components whose sends were rejected and who wait for link space.
+    pub blocked_senders: Vec<ComponentId>,
 }
 
 /// A wire between ports. Implemented by [`DirectConnection`] and by custom
@@ -37,14 +66,22 @@ pub trait Connection: Component {
     ///
     /// # Errors
     ///
-    /// [`SendError::Busy`] when the link's queue is full; the message is
-    /// returned to the caller.
-    ///
-    /// # Panics
-    ///
-    /// Implementations panic when the destination port was never attached —
-    /// that is a wiring bug, not a runtime condition.
+    /// [`SendError::Busy`] when the link's queue is full (the message is
+    /// returned to the caller), [`SendError::NotAttached`] when the
+    /// destination port is not an endpoint of this connection.
     fn push_msg(&mut self, ctx: &mut Ctx, msg: Box<dyn Msg>) -> Result<(), SendError>;
+
+    /// The ports attached to this connection, for topology analysis.
+    fn endpoints(&self) -> Vec<PortId> {
+        Vec::new()
+    }
+
+    /// The current wait dependencies of every link, for the runtime
+    /// deadlock analyzer. The default (no links reported) keeps custom
+    /// fabrics compiling; implementing it makes them analyzable.
+    fn link_waits(&self) -> Vec<LinkWait> {
+        Vec::new()
+    }
 }
 
 struct InFlight {
@@ -228,12 +265,13 @@ impl Connection for DirectConnection {
         let dst = msg.meta().dst;
         let now = ctx.now();
         {
-            let link = self.links.get_mut(&dst).unwrap_or_else(|| {
-                panic!(
-                    "connection {}: destination {dst} is not attached",
-                    self.base.name
-                )
-            });
+            let Some(link) = self.links.get_mut(&dst) else {
+                return Err(SendError::NotAttached {
+                    connection: self.base.name.clone(),
+                    dst,
+                    msg,
+                });
+            };
             if link.queue.len() >= link.cap {
                 self.rejected += 1;
                 link.blocked_senders.push(ctx.current());
@@ -247,6 +285,23 @@ impl Connection for DirectConnection {
         let id = self.base.id;
         ctx.schedule_tick(id, arrive);
         Ok(())
+    }
+
+    fn endpoints(&self) -> Vec<PortId> {
+        self.links.keys().copied().collect()
+    }
+
+    fn link_waits(&self) -> Vec<LinkWait> {
+        self.links
+            .iter()
+            .map(|(dst, link)| LinkWait {
+                dst_port: *dst,
+                queued: link.queue.len(),
+                cap: link.cap,
+                stalled: !link.queue.is_empty() && !link.port.can_accept(),
+                blocked_senders: link.blocked_senders.clone(),
+            })
+            .collect()
     }
 }
 

@@ -15,13 +15,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 use crate::buffer::BufferRegistry;
 use crate::component::Component;
-use crate::hook::Hook;
 use crate::conn::Connection;
+use crate::hook::Hook;
 use crate::ids::ComponentId;
 use crate::port::Port;
 use crate::profile;
@@ -222,6 +222,8 @@ pub struct Simulation {
     query_poll_interval: u64,
     terminate_requested: bool,
     topology: Vec<TopologyEdge>,
+    /// Registered connections by component id, for topology analysis.
+    connections: std::collections::BTreeMap<ComponentId, Rc<RefCell<dyn Connection>>>,
     /// Recent-event ring buffer (the trace view); empty when disabled.
     trace: std::collections::VecDeque<(VTime, ComponentId, EventKind)>,
     trace_enabled: bool,
@@ -238,7 +240,7 @@ impl Default for Simulation {
 impl Simulation {
     /// Creates an empty simulation.
     pub fn new() -> Self {
-        let (query_tx, query_rx) = unbounded();
+        let (query_tx, query_rx) = channel();
         Simulation {
             sched: Scheduler::new(),
             components: Vec::new(),
@@ -250,6 +252,7 @@ impl Simulation {
             query_poll_interval: 1,
             terminate_requested: false,
             topology: Vec::new(),
+            connections: std::collections::BTreeMap::new(),
             trace: std::collections::VecDeque::new(),
             trace_enabled: false,
             trace_cap: 1024,
@@ -274,14 +277,18 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics if another component already uses the same name.
-    pub fn register<C: Component + 'static>(&mut self, component: C) -> (ComponentId, Rc<RefCell<C>>) {
+    pub fn register<C: Component + 'static>(
+        &mut self,
+        component: C,
+    ) -> (ComponentId, Rc<RefCell<C>>) {
         let id = ComponentId::from_index(self.components.len());
         let rc = Rc::new(RefCell::new(component));
         rc.borrow_mut().base_mut().id = id;
         let name = rc.borrow().name().to_owned();
         let prev = self.by_name.insert(name.clone(), id);
         assert!(prev.is_none(), "duplicate component name: {name}");
-        self.components.push(Rc::clone(&rc) as Rc<RefCell<dyn Component>>);
+        self.components
+            .push(Rc::clone(&rc) as Rc<RefCell<dyn Component>>);
         (id, rc)
     }
 
@@ -301,6 +308,9 @@ impl Simulation {
         let conn_id = conn.borrow().id();
         conn.borrow_mut().attach(port);
         port.attach_conn(Rc::clone(conn) as Rc<RefCell<dyn Connection>>, conn_id);
+        self.connections
+            .entry(conn_id)
+            .or_insert_with(|| Rc::clone(conn) as Rc<RefCell<dyn Connection>>);
         self.topology.push(TopologyEdge {
             connection: conn.borrow().name().to_owned(),
             component: self.components[owner.index()].borrow().name().to_owned(),
@@ -368,6 +378,26 @@ impl Simulation {
         Ctx {
             sched: &mut self.sched,
         }
+    }
+
+    // --- Accessors for the topology/deadlock analyzer -----------------
+
+    pub(crate) fn components_slice(&self) -> &[Rc<RefCell<dyn Component>>] {
+        &self.components
+    }
+
+    pub(crate) fn connections_map(
+        &self,
+    ) -> &std::collections::BTreeMap<ComponentId, Rc<RefCell<dyn Connection>>> {
+        &self.connections
+    }
+
+    pub(crate) fn scheduled_set(&self) -> HashSet<ComponentId> {
+        self.sched.queue.scheduled_components().collect()
+    }
+
+    pub(crate) fn queue_is_empty(&self) -> bool {
+        self.sched.queue.is_empty()
     }
 
     fn dispatch(&mut self, ev: crate::queue::Ev) {
@@ -501,10 +531,7 @@ impl Simulation {
     /// Serves queries while paused; returns when unpaused or stopping.
     fn paused_loop(&mut self) {
         self.ctrl.set_state(RunState::Paused);
-        while self.ctrl.is_paused()
-            && !self.ctrl.stop_requested()
-            && !self.terminate_requested
-        {
+        while self.ctrl.is_paused() && !self.ctrl.stop_requested() && !self.terminate_requested {
             if let Ok(q) = self.query_rx.recv_timeout(Duration::from_millis(20)) {
                 self.serve_query(q);
             }
@@ -594,7 +621,10 @@ impl Simulation {
                 let n = self.components.len();
                 for i in 0..n {
                     let id = ComponentId::from_index(i);
-                    let next = self.components[i].borrow().freq().cycle_after(self.sched.now);
+                    let next = self.components[i]
+                        .borrow()
+                        .freq()
+                        .cycle_after(self.sched.now);
                     self.sched.schedule_tick(id, next);
                 }
                 let _ = reply.send(n);
@@ -642,6 +672,9 @@ impl Simulation {
                     })
                     .collect();
                 let _ = reply.send(records);
+            }
+            SimQuery::Analysis(reply) => {
+                let _ = reply.send(self.analyze());
             }
             SimQuery::Terminate => {
                 self.terminate_requested = true;

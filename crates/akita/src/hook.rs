@@ -60,11 +60,7 @@ impl EventCountHook {
 
     /// All per-kind counts, sorted descending.
     pub fn all(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<_> = self
-            .counts
-            .iter()
-            .map(|(k, &n)| (k.clone(), n))
-            .collect();
+        let mut v: Vec<_> = self.counts.iter().map(|(k, &n)| (k.clone(), n)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }

@@ -6,9 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use serde::{Deserialize, Serialize};
 
 /// Index of a component within a [`Simulation`](crate::Simulation)'s registry.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ComponentId(pub(crate) u32);
 
@@ -35,9 +33,7 @@ impl fmt::Display for ComponentId {
 ///
 /// Connections route messages by the destination `PortId` in
 /// [`MsgMeta`](crate::MsgMeta).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct PortId(u64);
 
@@ -60,9 +56,7 @@ impl fmt::Display for PortId {
 }
 
 /// Globally unique identity of a message, for tracing and MSHR matching.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct MsgId(u64);
 

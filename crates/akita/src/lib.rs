@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
 mod buffer;
 mod component;
 mod conn;
@@ -58,14 +59,17 @@ mod queue;
 mod state;
 mod time;
 
+pub use analysis::{
+    CycleFinding, DeadlockReport, LintFinding, LintReport, Severity, Suspect, WaitFor,
+};
 pub use buffer::{Buffer, BufferRegistry, BufferSnapshot};
 pub use component::{CompBase, Component};
-pub use conn::{Connection, DirectConnection, SendError};
+pub use conn::{Connection, DirectConnection, LinkWait, SendError};
 pub use engine::{Ctx, RunState, RunSummary, SimControl, Simulation, StopReason};
 pub use hook::{EventCountHook, Hook};
 pub use ids::{ComponentId, MsgId, PortId};
 pub use msg::{downcast_msg, Msg, MsgExt, MsgMeta};
-pub use port::Port;
+pub use port::{Port, PortSnapshot};
 pub use profile::{ProfileEdge, ProfileNode, ProfileReport};
 pub use progress::{ProgressBarId, ProgressRegistry, ProgressSnapshot};
 pub use query::{

@@ -25,16 +25,63 @@ struct PortInner {
     conn: Option<(Rc<RefCell<dyn Connection>>, ComponentId)>,
 }
 
+/// A point-in-time description of one port, for topology analysis.
+///
+/// Produced by [`BufferRegistry::port_snapshots`] via the probe every
+/// [`Port`] registers at creation; consumed by [`crate::analysis`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortSnapshot {
+    /// The port's globally unique id.
+    pub id: PortId,
+    /// The port's hierarchical name.
+    pub name: String,
+    /// The owning component, when assigned.
+    pub owner: Option<ComponentId>,
+    /// The attached connection's component id, when attached.
+    pub connection: Option<ComponentId>,
+    /// Messages currently waiting in the incoming buffer.
+    pub buf_len: usize,
+    /// Incoming buffer capacity.
+    pub buf_cap: usize,
+}
+
+/// The registry's view of a port (mirrors the buffer probe mechanism).
+pub(crate) trait PortProbe {
+    fn port_snapshot(&self) -> PortSnapshot;
+}
+
+struct ProbeImpl {
+    inner: Rc<RefCell<PortInner>>,
+    incoming: Buffer<Box<dyn Msg>>,
+}
+
+impl PortProbe for ProbeImpl {
+    fn port_snapshot(&self) -> PortSnapshot {
+        let inner = self.inner.borrow();
+        PortSnapshot {
+            id: inner.id,
+            name: inner.name.clone(),
+            owner: inner.owner,
+            connection: inner.conn.as_ref().map(|(_, id)| *id),
+            buf_len: self.incoming.len(),
+            buf_cap: self.incoming.capacity(),
+        }
+    }
+}
+
 /// A message endpoint. Cloning clones a handle to the same port.
 #[derive(Clone)]
 pub struct Port {
     inner: Rc<RefCell<PortInner>>,
     incoming: Buffer<Box<dyn Msg>>,
+    /// Keeps the registry's weak probe alive for the port's lifetime.
+    _probe: Rc<ProbeImpl>,
 }
 
 impl Port {
     /// Creates a port named `name` whose incoming buffer holds `buf_cap`
-    /// messages. The buffer registers with `registry` as `"<name>.Buf"`.
+    /// messages. The buffer registers with `registry` as `"<name>.Buf"`;
+    /// the port itself registers for topology analysis.
     ///
     /// # Panics
     ///
@@ -42,14 +89,21 @@ impl Port {
     pub fn new(registry: &BufferRegistry, name: impl Into<String>, buf_cap: usize) -> Self {
         let name = name.into();
         let incoming = Buffer::new(registry, format!("{name}.Buf"), buf_cap);
+        let inner = Rc::new(RefCell::new(PortInner {
+            id: PortId::fresh(),
+            name,
+            owner: None,
+            conn: None,
+        }));
+        let probe = Rc::new(ProbeImpl {
+            inner: Rc::clone(&inner),
+            incoming: incoming.clone(),
+        });
+        registry.register_port(&(Rc::clone(&probe) as Rc<dyn PortProbe>));
         Port {
-            inner: Rc::new(RefCell::new(PortInner {
-                id: PortId::fresh(),
-                name,
-                owner: None,
-                conn: None,
-            })),
+            inner,
             incoming,
+            _probe: probe,
         }
     }
 
@@ -98,7 +152,10 @@ impl Port {
     ///
     /// # Panics
     ///
-    /// Panics if no connection is attached.
+    /// Panics if no connection is attached, or if the destination port is
+    /// not an endpoint of the attached connection
+    /// ([`SendError::NotAttached`]) — wiring bugs the static lint pass
+    /// (`crate::analysis`) reports before any message is sent.
     pub fn send(&self, ctx: &mut Ctx, mut msg: Box<dyn Msg>) -> Result<(), Box<dyn Msg>> {
         msg.meta_mut().src = self.id();
         let conn = {
@@ -113,6 +170,13 @@ impl Port {
         match result {
             Ok(()) => Ok(()),
             Err(SendError::Busy(msg)) => Err(msg),
+            Err(SendError::NotAttached {
+                connection, dst, ..
+            }) => panic!(
+                "port {}: destination {dst} is not attached to connection {connection} \
+                 (wiring bug — run the topology lint: `rtm-sim analyze`)",
+                self.name()
+            ),
         }
     }
 

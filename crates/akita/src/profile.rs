@@ -249,14 +249,18 @@ mod tests {
 
     #[test]
     fn disabled_scope_is_none() {
-        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         set_enabled(false);
         assert!(scope("x").is_none());
     }
 
     #[test]
     fn nested_scopes_split_self_and_total() {
-        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         with_clean_profiler(|| {
             let _a = scope("a");
             std::thread::sleep(std::time::Duration::from_millis(2));
@@ -277,7 +281,9 @@ mod tests {
 
     #[test]
     fn edges_record_caller_callee() {
-        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         with_clean_profiler(|| {
             for _ in 0..3 {
                 let _p = scope("parent");
@@ -292,7 +298,9 @@ mod tests {
 
     #[test]
     fn top_n_keeps_hottest_and_prunes_edges() {
-        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         with_clean_profiler(|| {
             let _a = scope("hot");
             std::thread::sleep(std::time::Duration::from_millis(3));
@@ -308,7 +316,9 @@ mod tests {
 
     #[test]
     fn reset_clears_data() {
-        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         with_clean_profiler(|| {
             let _a = scope("x");
         });
@@ -318,7 +328,9 @@ mod tests {
 
     #[test]
     fn report_serializes() {
-        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         with_clean_profiler(|| {
             let _a = scope("s");
         });

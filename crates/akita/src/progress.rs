@@ -9,8 +9,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Identity of one progress bar.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -83,7 +83,10 @@ impl ProgressRegistry {
 
     /// Creates a bar tracking `total` tasks.
     pub fn create_bar(&self, name: impl Into<String>, total: u64) -> ProgressBarId {
-        let mut inner = self.inner.lock();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.next_id += 1;
         let id = ProgressBarId(inner.next_id);
         inner.bars.push(ProgressSnapshot {
@@ -99,7 +102,10 @@ impl ProgressRegistry {
     /// Sets a bar's finished and in-progress counts. Unknown ids are
     /// ignored (the bar may have been destroyed concurrently).
     pub fn update(&self, id: ProgressBarId, finished: u64, in_progress: u64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(bar) = inner.bars.iter_mut().find(|b| b.id == id) {
             bar.finished = finished;
             bar.in_progress = in_progress;
@@ -108,7 +114,10 @@ impl ProgressRegistry {
 
     /// Grows a bar's total (for workloads that discover tasks on the fly).
     pub fn add_total(&self, id: ProgressBarId, additional: u64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(bar) = inner.bars.iter_mut().find(|b| b.id == id) {
             bar.total += additional;
         }
@@ -116,17 +125,29 @@ impl ProgressRegistry {
 
     /// Removes a bar.
     pub fn destroy(&self, id: ProgressBarId) {
-        self.inner.lock().bars.retain(|b| b.id != id);
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .bars
+            .retain(|b| b.id != id);
     }
 
     /// All live bars, in creation order.
     pub fn snapshot(&self) -> Vec<ProgressSnapshot> {
-        self.inner.lock().bars.clone()
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .bars
+            .clone()
     }
 
     /// Number of live bars.
     pub fn len(&self) -> usize {
-        self.inner.lock().bars.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .bars
+            .len()
     }
 
     /// Whether no bars exist.

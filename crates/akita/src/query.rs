@@ -9,9 +9,11 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, Sender};
+use std::sync::mpsc::{sync_channel, Sender, SyncSender};
+
 use serde::{Deserialize, Serialize};
 
+use crate::analysis::LintReport;
 use crate::buffer::BufferSnapshot;
 use crate::engine::{RunState, SimControl};
 use crate::profile::ProfileReport;
@@ -20,7 +22,7 @@ use crate::state::ComponentState;
 use crate::time::VTime;
 
 /// One-shot reply channel.
-pub type Replier<T> = Sender<T>;
+pub type Replier<T> = SyncSender<T>;
 
 /// A request the engine loop can answer.
 #[derive(Debug)]
@@ -55,6 +57,10 @@ pub enum SimQuery {
     SetTracing(bool),
     /// The most recent `n` dispatched events (requires tracing on).
     Trace(usize, Replier<Vec<TraceRecord>>),
+    /// Run the topology lint + deadlock analysis
+    /// ([`Simulation::analyze`](crate::Simulation::analyze)) against the
+    /// live simulation.
+    Analysis(Replier<LintReport>),
     /// End an interactive run.
     Terminate,
 }
@@ -168,13 +174,13 @@ impl QueryClient {
     }
 
     fn request<T>(&self, make: impl FnOnce(Replier<T>) -> SimQuery) -> Result<T, QueryError> {
-        let (rtx, rrx) = bounded(1);
+        let (rtx, rrx) = sync_channel(1);
         self.tx
             .send(make(rtx))
             .map_err(|_| QueryError::Disconnected)?;
         rrx.recv_timeout(self.timeout).map_err(|e| match e {
-            crossbeam::channel::RecvTimeoutError::Timeout => QueryError::Timeout,
-            crossbeam::channel::RecvTimeoutError::Disconnected => QueryError::Disconnected,
+            std::sync::mpsc::RecvTimeoutError::Timeout => QueryError::Timeout,
+            std::sync::mpsc::RecvTimeoutError::Disconnected => QueryError::Disconnected,
         })
     }
 
@@ -291,6 +297,16 @@ impl QueryClient {
     /// [`QueryError`] when the simulation is gone or unresponsive.
     pub fn trace(&self, n: usize) -> Result<Vec<TraceRecord>, QueryError> {
         self.request(|r| SimQuery::Trace(n, r))
+    }
+
+    /// Runs the topology lint + deadlock analysis on the live simulation
+    /// (see [`crate::analysis`]).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn analysis(&self) -> Result<LintReport, QueryError> {
+        self.request(SimQuery::Analysis)
     }
 
     /// Ends an interactive run (fire-and-forget).

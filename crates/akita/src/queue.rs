@@ -91,6 +91,12 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// The components with at least one pending event, in no particular
+    /// order (used by the topology analyzer's reachability pass).
+    pub fn scheduled_components(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        self.heap.iter().map(|Reverse(ev)| ev.component)
+    }
 }
 
 #[cfg(test)]
@@ -147,38 +153,67 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Events always pop sorted by (time, insertion order).
-        #[test]
-        fn queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..100, 1..200)) {
+    /// Deterministic xorshift64* generator so the randomized coverage below
+    /// needs no external crates and reproduces exactly across runs.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// Events always pop sorted by (time, insertion order).
+    #[test]
+    fn queue_is_a_stable_priority_queue() {
+        let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+        for _case in 0..64 {
+            let len = (rng.next() % 199 + 1) as usize;
+            let times: Vec<u64> = (0..len).map(|_| rng.next() % 100).collect();
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
-                q.push(VTime::from_ps(t), ComponentId::from_index(i), EventKind::Tick);
+                q.push(
+                    VTime::from_ps(t),
+                    ComponentId::from_index(i),
+                    EventKind::Tick,
+                );
             }
             let mut expected: Vec<(u64, usize)> =
                 times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
-            expected.sort();
+            expected.sort_unstable();
             let got: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop())
                 .map(|e| (e.time.ps(), e.component.index()))
                 .collect();
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected);
         }
+    }
 
-        /// Interleaved pushes and pops never yield an event earlier than one
-        /// already popped.
-        #[test]
-        fn pop_is_monotonic_when_pushing_future_events(
-            ops in prop::collection::vec((0u64..1000, prop::bool::ANY), 1..200)
-        ) {
+    /// Interleaved pushes and pops never yield an event earlier than one
+    /// already popped.
+    #[test]
+    fn pop_is_monotonic_when_pushing_future_events() {
+        let mut rng = XorShift(0xD1B5_4A32_D192_ED03);
+        for _case in 0..64 {
+            let ops = (rng.next() % 199 + 1) as usize;
             let mut q = EventQueue::new();
             let mut last = 0u64;
-            for (dt, do_pop) in ops {
-                q.push(VTime::from_ps(last + dt), ComponentId::from_index(0), EventKind::Tick);
+            for _ in 0..ops {
+                let dt = rng.next() % 1000;
+                let do_pop = rng.next().is_multiple_of(2);
+                q.push(
+                    VTime::from_ps(last + dt),
+                    ComponentId::from_index(0),
+                    EventKind::Tick,
+                );
                 if do_pop {
                     if let Some(ev) = q.pop() {
-                        prop_assert!(ev.time.ps() >= last);
+                        assert!(ev.time.ps() >= last);
                         last = ev.time.ps();
                     }
                 }

@@ -196,7 +196,10 @@ impl ComponentState {
 
     /// Looks up a field's value by name.
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.fields.iter().find(|f| f.name == name).map(|f| &f.value)
+        self.fields
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| &f.value)
     }
 
     /// The numeric magnitude of a field, if it has one.

@@ -134,13 +134,13 @@ impl fmt::Display for VTime {
         let ps = self.0;
         if ps == 0 {
             write!(f, "0s")
-        } else if ps % 1_000_000_000_000 == 0 {
+        } else if ps.is_multiple_of(1_000_000_000_000) {
             write!(f, "{}s", ps / 1_000_000_000_000)
-        } else if ps % 1_000_000_000 == 0 {
+        } else if ps.is_multiple_of(1_000_000_000) {
             write!(f, "{}ms", ps / 1_000_000_000)
-        } else if ps % 1_000_000 == 0 {
+        } else if ps.is_multiple_of(1_000_000) {
             write!(f, "{}us", ps / 1_000_000)
-        } else if ps % 1_000 == 0 {
+        } else if ps.is_multiple_of(1_000) {
             write!(f, "{}ns", ps / 1_000)
         } else {
             write!(f, "{ps}ps")
@@ -159,9 +159,7 @@ impl fmt::Display for VTime {
 /// assert_eq!(f.period(), VTime::from_ps(1_000));
 /// assert_eq!(f.cycle_after(VTime::from_ps(1)), VTime::from_ps(1_000));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Freq(u64);
 
@@ -228,9 +226,9 @@ impl Default for Freq {
 impl fmt::Display for Freq {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let hz = self.0;
-        if hz % 1_000_000_000 == 0 {
+        if hz.is_multiple_of(1_000_000_000) {
             write!(f, "{}GHz", hz / 1_000_000_000)
-        } else if hz % 1_000_000 == 0 {
+        } else if hz.is_multiple_of(1_000_000) {
             write!(f, "{}MHz", hz / 1_000_000)
         } else {
             write!(f, "{hz}Hz")
@@ -299,8 +297,14 @@ mod tests {
         assert_eq!(f.cycle_after(VTime::ZERO), VTime::from_ps(1_000));
         assert_eq!(f.cycle_after(VTime::from_ps(999)), VTime::from_ps(1_000));
         assert_eq!(f.cycle_after(VTime::from_ps(1_000)), VTime::from_ps(2_000));
-        assert_eq!(f.cycle_at_or_after(VTime::from_ps(1_000)), VTime::from_ps(1_000));
-        assert_eq!(f.cycle_at_or_after(VTime::from_ps(1_001)), VTime::from_ps(2_000));
+        assert_eq!(
+            f.cycle_at_or_after(VTime::from_ps(1_000)),
+            VTime::from_ps(1_000)
+        );
+        assert_eq!(
+            f.cycle_at_or_after(VTime::from_ps(1_001)),
+            VTime::from_ps(2_000)
+        );
     }
 
     #[test]

@@ -172,7 +172,10 @@ fn messages_flow_end_to_end_in_order() {
     let summary = chain.sim.run();
     assert_eq!(summary.reason, StopReason::Completed);
     assert_eq!(chain.producer.borrow().sent, 20);
-    assert_eq!(chain.consumer.borrow().received, (0..20).collect::<Vec<_>>());
+    assert_eq!(
+        chain.consumer.borrow().received,
+        (0..20).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -516,9 +519,7 @@ fn topology_records_the_wiring() {
     // Producer.Out and Consumer.In both attach to "Conn".
     assert_eq!(topo.len(), 2);
     assert!(topo.iter().all(|e| e.connection == "Conn"));
-    assert!(topo
-        .iter()
-        .any(|e| e.component == "P" && e.port == "P.Out"));
+    assert!(topo.iter().any(|e| e.component == "P" && e.port == "P.Out"));
     assert!(topo.iter().any(|e| e.component == "C" && e.port == "C.In"));
 }
 
@@ -591,7 +592,11 @@ fn hooks_observe_every_dispatch_in_order() {
     let summary = chain.sim.run();
 
     let log = log.borrow();
-    assert_eq!(log.len() as u64, summary.events * 2, "one before+after per event");
+    assert_eq!(
+        log.len() as u64,
+        summary.events * 2,
+        "one before+after per event"
+    );
     // Strict pairing: entries alternate before/after with matching kinds.
     for pair in log.chunks(2) {
         assert!(pair[0].0 && !pair[1].0, "before must precede after");

@@ -79,7 +79,15 @@ impl Component for Sink {
     }
 }
 
-fn build(burst: Vec<u64>, sink_buf: usize, drain: bool) -> (Simulation, Rc<std::cell::RefCell<Burst>>, Rc<std::cell::RefCell<Sink>>) {
+fn build(
+    burst: Vec<u64>,
+    sink_buf: usize,
+    drain: bool,
+) -> (
+    Simulation,
+    Rc<std::cell::RefCell<Burst>>,
+    Rc<std::cell::RefCell<Sink>>,
+) {
     let mut sim = Simulation::new();
     let sink = Sink {
         base: CompBase::new("Sink", "S"),

@@ -1,8 +1,8 @@
-//! Criterion benches for the DES engine: raw event throughput, tick
-//! scheduling, and the ablation behind the paper's §VII claim that
-//! draining the monitor-query channel between events is effectively free.
+//! Benches for the DES engine: raw event throughput, tick scheduling, and
+//! the ablation behind the paper's §VII claim that draining the
+//! monitor-query channel between events is effectively free.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtm_bench::micro::bench;
 
 use akita::{CompBase, Component, Ctx, Simulation, VTime};
 
@@ -40,67 +40,56 @@ fn build_spinners(n_components: usize, ticks_each: u64) -> Simulation {
     sim
 }
 
-fn bench_event_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine/event_throughput");
+fn bench_event_throughput() {
     for &n in &[1usize, 16, 256] {
-        group.bench_with_input(BenchmarkId::new("components", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut sim = build_spinners(n, 10_000 / n as u64);
-                sim.run()
-            });
+        bench(&format!("engine/event_throughput/components/{n}"), || {
+            let mut sim = build_spinners(n, 10_000 / n as u64);
+            sim.run()
         });
     }
-    group.finish();
 }
 
 /// The §VII ablation: how much does polling the monitor-query channel every
 /// event cost versus polling rarely? The paper's design drains on-demand
 /// work every event; this shows why that is affordable.
-fn bench_query_poll_interval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine/query_poll_interval");
+fn bench_query_poll_interval() {
     for &interval in &[1u64, 64, 4096] {
-        group.bench_with_input(
-            BenchmarkId::new("every_n_events", interval),
-            &interval,
-            |b, &interval| {
-                b.iter(|| {
-                    let mut sim = build_spinners(16, 1_000);
-                    sim.set_query_poll_interval(interval);
-                    sim.run()
-                });
+        bench(
+            &format!("engine/query_poll_interval/every_n_events/{interval}"),
+            || {
+                let mut sim = build_spinners(16, 1_000);
+                sim.set_query_poll_interval(interval);
+                sim.run()
             },
         );
     }
-    group.finish();
 }
 
 /// Cost of the monitor answering a status query while the engine runs:
 /// measures the end-to-end request round-trip against a busy engine.
-fn bench_status_query_latency(c: &mut Criterion) {
-    c.bench_function("engine/status_query_round_trip", |b| {
-        // The simulation is !Send: build it on its own thread and hand the
-        // (Send) query client back.
-        let (tx, rx) = std::sync::mpsc::channel();
-        let handle = std::thread::spawn(move || {
-            let mut sim = build_spinners(4, u64::MAX / 2);
-            tx.send(sim.client()).expect("hand client back");
-            sim.run();
-        });
-        let client = rx.recv().expect("client");
-        // Wait for the engine to start.
-        while client.events_handled() == 0 {
-            std::hint::spin_loop();
-        }
-        b.iter(|| client.status().expect("status"));
-        client.request_stop();
-        let _ = handle.join();
+fn bench_status_query_latency() {
+    // The simulation is !Send: build it on its own thread and hand the
+    // (Send) query client back.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let mut sim = build_spinners(4, u64::MAX / 2);
+        tx.send(sim.client()).expect("hand client back");
+        sim.run();
     });
+    let client = rx.recv().expect("client");
+    // Wait for the engine to start.
+    while client.events_handled() == 0 {
+        std::hint::spin_loop();
+    }
+    bench("engine/status_query_round_trip", || {
+        client.status().expect("status")
+    });
+    client.request_stop();
+    let _ = handle.join();
 }
 
-criterion_group!(
-    benches,
-    bench_event_throughput,
-    bench_query_poll_interval,
-    bench_status_query_latency
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_throughput();
+    bench_query_poll_interval();
+    bench_status_query_latency();
+}

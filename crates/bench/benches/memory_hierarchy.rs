@@ -1,9 +1,9 @@
-//! Criterion benches for the memory hierarchy: hit/miss paths through the
+//! Benches for the memory hierarchy: hit/miss paths through the
 //! ROB → AT → L1 → L2 → DRAM chain, and whole-GPU kernel throughput.
 
 use std::rc::Rc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtm_bench::micro::bench;
 
 use akita_gpu::kernel::{Inst, WavefrontProgram};
 use akita_gpu::{GpuConfig, Platform, PlatformConfig, UniformKernel};
@@ -30,74 +30,52 @@ fn run_reads(lines: u64) -> akita::RunSummary {
     summary
 }
 
-fn bench_cache_locality(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mem/kernel_reads");
-    group.sample_size(20);
+fn bench_cache_locality() {
     // 8 lines: everything hits in L1 after warmup. 4096 lines: streams
     // through L1 and L2 to DRAM.
     for &lines in &[8u64, 256, 4096] {
-        group.bench_with_input(
-            BenchmarkId::new("distinct_lines", lines),
-            &lines,
-            |b, &lines| b.iter(|| run_reads(lines)),
-        );
+        bench(&format!("mem/kernel_reads/distinct_lines/{lines}"), || {
+            run_reads(lines)
+        });
     }
-    group.finish();
 }
 
-fn bench_platform_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mem/platform_build");
-    group.sample_size(20);
-    group.bench_function("scaled_8cu_1chiplet", |b| {
-        b.iter(|| Platform::build(PlatformConfig::default()))
+fn bench_platform_build() {
+    bench("mem/platform_build/scaled_8cu_1chiplet", || {
+        Platform::build(PlatformConfig::default())
     });
-    group.bench_function("scaled_8cu_4chiplets", |b| {
-        b.iter(|| {
-            Platform::build(PlatformConfig {
-                chiplets: 4,
-                ..PlatformConfig::default()
-            })
+    bench("mem/platform_build/scaled_8cu_4chiplets", || {
+        Platform::build(PlatformConfig {
+            chiplets: 4,
+            ..PlatformConfig::default()
         })
     });
-    group.finish();
 }
 
-fn bench_multi_chiplet_traffic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mem/chiplet_traffic");
-    group.sample_size(10);
+fn bench_multi_chiplet_traffic() {
     for &chiplets in &[1usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("chiplets", chiplets),
-            &chiplets,
-            |b, &chiplets| {
-                b.iter(|| {
-                    let mut p = Platform::build(PlatformConfig {
-                        chiplets,
-                        gpu: GpuConfig::scaled(2),
-                        ..PlatformConfig::default()
-                    });
-                    let insts: Vec<Inst> =
-                        (0..32).map(|i| Inst::Load(i * 4096, 4)).collect();
-                    let kernel = Rc::new(UniformKernel::new(
-                        "strided",
-                        16,
-                        2,
-                        WavefrontProgram::new(insts),
-                    ));
-                    p.driver.borrow_mut().enqueue_kernel(kernel);
-                    p.start();
-                    p.sim.run()
-                })
-            },
-        );
+        bench(&format!("mem/chiplet_traffic/chiplets/{chiplets}"), || {
+            let mut p = Platform::build(PlatformConfig {
+                chiplets,
+                gpu: GpuConfig::scaled(2),
+                ..PlatformConfig::default()
+            });
+            let insts: Vec<Inst> = (0..32).map(|i| Inst::Load(i * 4096, 4)).collect();
+            let kernel = Rc::new(UniformKernel::new(
+                "strided",
+                16,
+                2,
+                WavefrontProgram::new(insts),
+            ));
+            p.driver.borrow_mut().enqueue_kernel(kernel);
+            p.start();
+            p.sim.run()
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cache_locality,
-    bench_platform_build,
-    bench_multi_chiplet_traffic
-);
-criterion_main!(benches);
+fn main() {
+    bench_cache_locality();
+    bench_platform_build();
+    bench_multi_chiplet_traffic();
+}

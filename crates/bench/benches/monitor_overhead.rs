@@ -1,11 +1,11 @@
-//! Criterion benches isolating the monitoring overhead mechanisms behind
-//! Figure 7: an identical simulation with no monitor, with an idle
-//! monitor+server, and with an HTTP request load.
+//! Benches isolating the monitoring overhead mechanisms behind Figure 7:
+//! an identical simulation with no monitor, with an idle monitor+server,
+//! and with an HTTP request load.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rtm_bench::micro::{bench, bench_custom};
 
 use akita_gpu::{GpuConfig, Platform, PlatformConfig};
 use akita_rtm::{Monitor, RtmServer};
@@ -28,50 +28,42 @@ fn build() -> Platform {
     p
 }
 
-fn bench_no_monitor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("monitor/fir_run");
-    group.sample_size(20);
-    // iter_custom: time only `sim.run()`, excluding platform construction
-    // and monitor/server setup+teardown — the comparison Figure 7 makes.
-    group.bench_function("no_monitor", |b| {
-        b.iter_custom(|iters| {
-            let mut total = Duration::ZERO;
-            for _ in 0..iters {
-                let mut p = build();
-                let t = std::time::Instant::now();
-                p.sim.run();
-                total += t.elapsed();
-            }
-            total
-        })
+fn bench_no_monitor() {
+    // Custom timing: measure only `sim.run()`, excluding platform
+    // construction and monitor/server setup+teardown — the comparison
+    // Figure 7 makes.
+    bench_custom("monitor/fir_run/no_monitor", |iters| {
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let mut p = build();
+            let t = Instant::now();
+            p.sim.run();
+            total += t.elapsed();
+        }
+        total
     });
-    group.bench_function("monitor_idle", |b| {
-        b.iter_custom(|iters| {
-            let mut total = Duration::ZERO;
-            for _ in 0..iters {
-                let mut p = build();
-                let monitor = Arc::new(Monitor::attach(
-                    &p.sim,
-                    p.progress.clone(),
-                    Duration::from_millis(100),
-                ));
-                let server = RtmServer::start_local(monitor).expect("bind");
-                let t = std::time::Instant::now();
-                p.sim.run();
-                total += t.elapsed();
-                drop(server);
-            }
-            total
-        })
+    bench_custom("monitor/fir_run/monitor_idle", |iters| {
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let mut p = build();
+            let monitor = Arc::new(Monitor::attach(
+                &p.sim,
+                p.progress.clone(),
+                Duration::from_millis(100),
+            ));
+            let server = RtmServer::start_local(monitor).expect("bind");
+            let t = Instant::now();
+            p.sim.run();
+            total += t.elapsed();
+            drop(server);
+        }
+        total
     });
-    group.finish();
 }
 
 /// The per-request costs a browser imposes, measured against a *live*
 /// simulation (requests answered between events).
-fn bench_live_requests(c: &mut Criterion) {
-    let mut group = c.benchmark_group("monitor/live_request");
-    group.sample_size(30);
+fn bench_live_requests() {
     // One long-running simulation on a background thread.
     let (tx, rx) = std::sync::mpsc::channel();
     let sim_thread = std::thread::spawn(move || {
@@ -98,25 +90,24 @@ fn bench_live_requests(c: &mut Criterion) {
     });
     let addr = rx.recv().expect("addr");
 
-    group.bench_function("GET /api/now", |b| {
-        b.iter(|| akita_rtm::client::get(addr, "/api/now").expect("now"))
+    bench("monitor/live_request/GET /api/now", || {
+        akita_rtm::client::get(addr, "/api/now").expect("now")
     });
-    group.bench_function("GET /api/status", |b| {
-        b.iter(|| akita_rtm::client::get(addr, "/api/status").expect("status"))
+    bench("monitor/live_request/GET /api/status", || {
+        akita_rtm::client::get(addr, "/api/status").expect("status")
     });
-    group.bench_function("GET /api/component", |b| {
-        b.iter(|| {
-            akita_rtm::client::get(addr, "/api/component?name=Driver").expect("component")
-        })
+    bench("monitor/live_request/GET /api/component", || {
+        akita_rtm::client::get(addr, "/api/component?name=Driver").expect("component")
     });
-    group.bench_function("GET /api/buffers", |b| {
-        b.iter(|| akita_rtm::client::get(addr, "/api/buffers?sort=size&top=20").expect("buffers"))
+    bench("monitor/live_request/GET /api/buffers", || {
+        akita_rtm::client::get(addr, "/api/buffers?sort=size&top=20").expect("buffers")
     });
-    group.finish();
 
     let _ = akita_rtm::client::post(addr, "/api/terminate", None);
     let _ = sim_thread.join();
 }
 
-criterion_group!(benches, bench_no_monitor, bench_live_requests);
-criterion_main!(benches);
+fn main() {
+    bench_no_monitor();
+    bench_live_requests();
+}

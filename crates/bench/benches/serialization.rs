@@ -1,7 +1,7 @@
-//! Criterion benches for the monitoring data path: fine-grained component
+//! Benches for the monitoring data path: fine-grained component
 //! serialization (§VII design choice 2) and buffer-registry snapshots.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtm_bench::micro::bench;
 
 use akita::{Buffer, BufferRegistry, ComponentState, Value};
 
@@ -25,61 +25,61 @@ fn big_state() -> ComponentState {
         )
 }
 
-fn bench_component_state_to_json(c: &mut Criterion) {
+fn bench_component_state_to_json() {
     let state = big_state();
-    c.bench_function("serialize/component_state_to_json", |b| {
-        b.iter(|| serde_json::to_string(&state).expect("serialize"))
+    bench("serialize/component_state_to_json", || {
+        serde_json::to_string(&state).expect("serialize")
     });
 }
 
-fn bench_component_state_round_trip(c: &mut Criterion) {
+fn bench_component_state_round_trip() {
     let state = big_state();
     let json = serde_json::to_string(&state).expect("serialize");
-    c.bench_function("serialize/component_state_from_json", |b| {
-        b.iter(|| serde_json::from_str::<ComponentState>(&json).expect("deserialize"))
+    bench("serialize/component_state_from_json", || {
+        serde_json::from_str::<ComponentState>(&json).expect("deserialize")
     });
 }
 
 /// The buffer analyzer snapshot: the paper takes "a snapshot of all the
 /// buffers in the simulation" on each analyzer refresh. A 4-chiplet
 /// R9-Nano-class machine has a few thousand buffers.
-fn bench_buffer_snapshot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("serialize/buffer_snapshot");
+fn bench_buffer_snapshot() {
     for &n in &[100usize, 1_000, 4_000] {
         let registry = BufferRegistry::new();
         let buffers: Vec<Buffer<u64>> = (0..n)
             .map(|i| {
-                let b = Buffer::new(&registry, format!("GPU[0].SA[{}].Port[{}].Buf", i / 64, i), 8);
+                let b = Buffer::new(
+                    &registry,
+                    format!("GPU[0].SA[{}].Port[{}].Buf", i / 64, i),
+                    8,
+                );
                 for v in 0..(i % 9) as u64 {
                     b.push(v).expect("within cap");
                 }
                 b
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("buffers", n), &n, |b, _| {
-            b.iter(|| registry.snapshot())
+        bench(&format!("serialize/buffer_snapshot/buffers/{n}"), || {
+            registry.snapshot()
         });
         drop(buffers);
     }
-    group.finish();
 }
 
-fn bench_buffer_snapshot_to_json(c: &mut Criterion) {
+fn bench_buffer_snapshot_to_json() {
     let registry = BufferRegistry::new();
     let _buffers: Vec<Buffer<u64>> = (0..1_000)
         .map(|i| Buffer::new(&registry, format!("B{i}"), 8))
         .collect();
     let snap = registry.snapshot();
-    c.bench_function("serialize/buffer_table_to_json", |b| {
-        b.iter(|| serde_json::to_string(&snap).expect("serialize"))
+    bench("serialize/buffer_table_to_json", || {
+        serde_json::to_string(&snap).expect("serialize")
     });
 }
 
-criterion_group!(
-    benches,
-    bench_component_state_to_json,
-    bench_component_state_round_trip,
-    bench_buffer_snapshot,
-    bench_buffer_snapshot_to_json
-);
-criterion_main!(benches);
+fn main() {
+    bench_component_state_to_json();
+    bench_component_state_round_trip();
+    bench_buffer_snapshot();
+    bench_buffer_snapshot_to_json();
+}

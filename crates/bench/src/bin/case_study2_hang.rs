@@ -54,9 +54,13 @@ fn main() {
         sim.wait_for_state("Idle", Duration::from_secs(120)),
         "the injected bug should quiesce the engine"
     );
-    let t1 = sim.get("/api/now").unwrap().json().unwrap()["now_ps"].as_u64().unwrap();
+    let t1 = sim.get("/api/now").unwrap().json().unwrap()["now_ps"]
+        .as_u64()
+        .unwrap();
     std::thread::sleep(Duration::from_millis(100));
-    let t2 = sim.get("/api/now").unwrap().json().unwrap()["now_ps"].as_u64().unwrap();
+    let t2 = sim.get("/api/now").unwrap().json().unwrap()["now_ps"]
+        .as_u64()
+        .unwrap();
     assert_eq!(t1, t2, "simulation time must be frozen");
     let bars = sim.get("/api/progress").unwrap().json().unwrap();
     let kernel = bars
@@ -107,7 +111,10 @@ fn main() {
         .unwrap();
     assert!(tick.is_ok(), "tick failed: {}", tick.body);
     let kick = sim.post("/api/kickstart", None).unwrap().json().unwrap();
-    println!("    woke {} components; waiting for quiescence…", kick["woken"]);
+    println!(
+        "    woke {} components; waiting for quiescence…",
+        kick["woken"]
+    );
     assert!(
         sim.wait_for_state("Idle", Duration::from_secs(30)),
         "a code bug cannot be ticked away: the sim must quiesce again"
@@ -128,8 +135,7 @@ fn main() {
             fields
                 .iter()
                 .find(|f| f["name"] == n)
-                .map(|f| f["value"]["v"].clone())
-                .unwrap_or(serde_json::Value::Null)
+                .map_or(serde_json::Value::Null, |f| f["value"]["v"].clone())
         };
         let wedged = get("wedged") == serde_json::Value::Bool(true);
         found_wedge |= wedged;

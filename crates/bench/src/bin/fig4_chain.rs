@@ -6,8 +6,8 @@
 //! so buffer fullness points straight at C.
 
 use akita::{
-    impl_msg, CompBase, Component, ComponentState, Ctx, DirectConnection, Msg, MsgMeta,
-    Port, PortId, Simulation, VTime,
+    impl_msg, CompBase, Component, ComponentState, Ctx, DirectConnection, Msg, MsgMeta, Port,
+    PortId, Simulation, VTime,
 };
 use rtm_bench::textfig::print_table;
 
@@ -210,15 +210,12 @@ fn main() {
         mid_levels
             .iter()
             .find(|(name, _, _)| name.starts_with(n))
-            .map(|(_, s, _)| *s)
-            .unwrap_or(0)
+            .map_or(0, |(_, s, _)| *s)
     };
     println!();
     let (b, c, d) = (level("B"), level("C"), level("D"));
     if c >= 7 && b <= 4 && d <= 2 {
-        println!(
-            "REPRODUCED: C's input buffer is full ({c}/8) while B ({b}/8) and D ({d}/8) stay"
-        );
+        println!("REPRODUCED: C's input buffer is full ({c}/8) while B ({b}/8) and D ({d}/8) stay");
         println!("shallow — buffer fullness points at C, the slow component, as Fig 4 argues.");
     } else {
         println!("UNEXPECTED: B={b}/8 C={c}/8 D={d}/8 — bottleneck signature not visible");

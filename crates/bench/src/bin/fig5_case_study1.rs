@@ -95,10 +95,7 @@ fn main() {
 
     // Flag the five values of the case study.
     for w in &WATCHES {
-        let body = format!(
-            r#"{{"component":"{}","field":"{}"}}"#,
-            w.component, w.field
-        );
+        let body = format!(r#"{{"component":"{}","field":"{}"}}"#, w.component, w.field);
         let r = sim.post("/api/watch", Some(&body)).expect("create watch");
         assert!(r.is_ok(), "watch failed: {}", r.body);
     }
@@ -114,13 +111,12 @@ fn main() {
             .unwrap()
             .iter()
             .find(|b| b["name"].as_str().unwrap_or("").contains("kernel"))
-            .map(|b| {
+            .map_or((0, 1), |b| {
                 (
                     b["finished"].as_u64().unwrap_or(0),
                     b["total"].as_u64().unwrap_or(1),
                 )
-            })
-            .unwrap_or((0, 1));
+            });
         if done * 100 >= total * 55 {
             series = Some(sim.get("/api/watches").unwrap().json().unwrap());
             break;
@@ -150,11 +146,8 @@ fn main() {
             "", m, min, max, spec.paper
         );
 
-        let at_cap = steady
-            .iter()
-            .filter(|&&v| v >= 7.0)
-            .count() as f64
-            / steady.len().max(1) as f64;
+        let at_cap =
+            steady.iter().filter(|&&v| v >= 7.0).count() as f64 / steady.len().max(1) as f64;
         let verdict = match spec.label {
             // Flat at 8 for (essentially) the whole steady window.
             "ROB top-port buffer" => m >= 6.5 && at_cap > 0.8,
@@ -173,8 +166,6 @@ fn main() {
         );
         ok += verdict as u32;
     }
-    println!(
-        "{ok}/5 series match the paper's qualitative description; conclusion: the RDMA/"
-    );
+    println!("{ok}/5 series match the paper's qualitative description; conclusion: the RDMA/");
     println!("network saturates first — the Case Study 1 root cause.");
 }

@@ -145,7 +145,7 @@ fn main() {
                 if overhead > max_overhead.0 {
                     max_overhead = (overhead, workload.name().to_owned(), scenario.label());
                 }
-                cells.push(format!("{:.3}s ({:+.1}%)", m, overhead));
+                cells.push(format!("{m:.3}s ({overhead:+.1}%)"));
             }
         }
         eprintln!(" {}", workload.name());

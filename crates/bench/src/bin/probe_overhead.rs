@@ -23,8 +23,10 @@ fn build() -> Platform {
     p
 }
 
+type Variant = (&'static str, fn() -> f64);
+
 fn main() {
-    let variants: Vec<(&str, fn() -> f64)> = vec![
+    let variants: Vec<Variant> = vec![
         ("bare", || {
             let mut p = build();
             let t = Instant::now();
@@ -88,7 +90,10 @@ fn main() {
         println!(
             "{name:<18} median {:.3}s  all {:?}",
             sorted[sorted.len() / 2],
-            times.iter().map(|t| (t * 1000.0) as u64).collect::<Vec<_>>()
+            times
+                .iter()
+                .map(|t| (t * 1000.0) as u64)
+                .collect::<Vec<_>>()
         );
     }
 }

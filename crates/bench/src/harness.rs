@@ -21,20 +21,27 @@ pub struct RunTimes {
     pub cpu: Duration,
 }
 
-/// CPU time of the calling thread (CLOCK_THREAD_CPUTIME_ID); zero on
-/// platforms without it.
+/// CPU time of the calling thread, read from `/proc/thread-self/stat`
+/// (Linux); zero on platforms without procfs.
+///
+/// Resolution is one scheduler tick (10 ms at the USER_HZ=100 every Linux
+/// ABI fixes), coarse but cumulative — fine for the multi-second runs the
+/// benchmarks measure.
 pub fn thread_cpu_time() -> Duration {
-    let mut ts = libc::timespec {
-        tv_sec: 0,
-        tv_nsec: 0,
+    let Ok(stat) = std::fs::read_to_string("/proc/thread-self/stat") else {
+        return Duration::ZERO;
     };
-    // SAFETY: ts is a valid, writable timespec; the clock id is a constant.
-    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
-    if rc == 0 {
-        Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
-    } else {
-        Duration::ZERO
-    }
+    // The comm field (2) may contain spaces; everything after the closing
+    // paren is whitespace-separated, starting at field 3. utime and stime
+    // are fields 14 and 15, in USER_HZ clock ticks.
+    let Some((_, rest)) = stat.rsplit_once(") ") else {
+        return Duration::ZERO;
+    };
+    let mut fields = rest.split_ascii_whitespace();
+    let utime: u64 = fields.nth(11).and_then(|f| f.parse().ok()).unwrap_or(0);
+    let stime: u64 = fields.next().and_then(|f| f.parse().ok()).unwrap_or(0);
+    const MS_PER_TICK: u64 = 1000 / 100; // USER_HZ = 100
+    Duration::from_millis((utime + stime) * MS_PER_TICK)
 }
 
 use akita_gpu::{Platform, PlatformConfig};
@@ -233,7 +240,7 @@ impl MonitoredSim {
         let start = Instant::now();
         while start.elapsed() < timeout {
             if let Ok(r) = self.get("/api/now") {
-                if r.json().map(|j| j["state"] == state).unwrap_or(false) {
+                if r.json().is_ok_and(|j| j["state"] == state) {
                     return true;
                 }
             }

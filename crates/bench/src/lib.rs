@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod micro;
 pub mod textfig;
 
 pub use harness::{thread_cpu_time, timed_run, MonitoredSim, RunTimes, Scenario};

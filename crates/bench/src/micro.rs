@@ -1,0 +1,102 @@
+//! A minimal micro-benchmark runner for the `harness = false` bench
+//! targets: warm up, run a time budget, report mean wall time per
+//! iteration. No external dependencies, deterministic output format:
+//!
+//! ```text
+//! engine/event_throughput/components/16    142.3 us/iter   (35 iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Time budget each benchmark spends measuring (after warmup).
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Iterations (and time) spent warming up before measuring.
+const WARMUP_ITERS: u32 = 2;
+/// Upper bound on measured iterations, so trivially fast bodies terminate.
+const MAX_ITERS: u32 = 10_000;
+
+fn format_per_iter(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s/iter", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.1} ms/iter", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} us/iter", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns/iter")
+    }
+}
+
+/// Runs `body` repeatedly and prints the mean time per iteration.
+///
+/// The return value of `body` is passed through [`std::hint::black_box`]
+/// so the work cannot be optimized away.
+pub fn bench<T>(name: &str, mut body: impl FnMut() -> T) {
+    bench_custom(name, |iters| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(body());
+        }
+        start.elapsed()
+    });
+}
+
+/// Like [`bench`], but `body` times `iters` iterations itself and returns
+/// only the duration that should count (criterion's `iter_custom`): use it
+/// to exclude per-iteration setup from the measurement.
+pub fn bench_custom(name: &str, mut body: impl FnMut(u32) -> Duration) {
+    let warmup_start = Instant::now();
+    body(WARMUP_ITERS);
+    // Estimate per-iter cost from warmup wall time (the body may exclude
+    // setup, so wall time is the safe upper bound for budgeting).
+    let est = warmup_start.elapsed() / WARMUP_ITERS;
+    let iters = if est.is_zero() {
+        MAX_ITERS
+    } else {
+        u32::try_from(MEASURE_BUDGET.as_nanos() / est.as_nanos().max(1))
+            .unwrap_or(MAX_ITERS)
+            .clamp(1, MAX_ITERS)
+    };
+    let total = body(iters);
+    let per_iter = total / iters;
+    println!(
+        "{name:<55} {:>15}   ({iters} iters)",
+        format_per_iter(per_iter)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_body_and_terminates() {
+        let mut count = 0u64;
+        bench("test/increment", || {
+            count += 1;
+            count
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn custom_receives_requested_iters() {
+        let mut seen = Vec::new();
+        bench_custom("test/custom", |iters| {
+            seen.push(iters);
+            Duration::from_millis(u64::from(iters))
+        });
+        assert_eq!(seen.len(), 2, "one warmup call, one measured call");
+        assert_eq!(seen[0], WARMUP_ITERS);
+        assert!(seen[1] >= 1);
+    }
+
+    #[test]
+    fn per_iter_formatting_covers_magnitudes() {
+        assert!(format_per_iter(Duration::from_nanos(5)).ends_with("ns/iter"));
+        assert!(format_per_iter(Duration::from_micros(5)).ends_with("us/iter"));
+        assert!(format_per_iter(Duration::from_millis(5)).ends_with("ms/iter"));
+        assert!(format_per_iter(Duration::from_secs(5)).ends_with("s/iter"));
+    }
+}

@@ -39,8 +39,7 @@ fn all_four_scenarios_complete() {
 
 #[test]
 fn scenario_labels_are_distinct() {
-    let labels: std::collections::HashSet<&str> =
-        Scenario::ALL.iter().map(|s| s.label()).collect();
+    let labels: std::collections::HashSet<&str> = Scenario::ALL.iter().map(|s| s.label()).collect();
     assert_eq!(labels.len(), 4);
 }
 
@@ -63,7 +62,7 @@ fn monitored_sim_launch_and_terminate() {
     let sim = MonitoredSim::launch(
         || {
             use akita_workloads::Workload;
-            let mut p = akita_gpu::Platform::build(PlatformConfig {
+            let p = akita_gpu::Platform::build(PlatformConfig {
                 gpu: GpuConfig::scaled(2),
                 ..PlatformConfig::default()
             });

@@ -4,6 +4,8 @@
 //! rtm-sim --workload im2col --chiplets 4 --port 8080 --hold
 //! rtm-sim --dump-config > machine.json   # edit, then:
 //! rtm-sim --config machine.json --workload matmul
+//! rtm-sim analyze --chiplets 4            # lint the wiring, then run
+//! rtm-sim analyze --inject-deadlock       # exits nonzero naming the cycle
 //! ```
 
 use std::process::exit;
@@ -21,6 +23,14 @@ rtm-sim — run a monitored GPU simulation (AkitaRTM reproduction)
 
 USAGE:
     rtm-sim [OPTIONS]
+    rtm-sim analyze [OPTIONS]
+
+SUBCOMMANDS:
+    analyze                 lint the platform's wiring (unattached ports,
+                            undersized buffers, potential backpressure
+                            cycles), run the workload, and report any
+                            deadlock cycle if the machine hangs; exits
+                            nonzero on error-level findings or a deadlock
 
 OPTIONS:
     --workload <name>       benchmark to run (default: fir)
@@ -37,10 +47,13 @@ OPTIONS:
     --no-monitor            run without the monitor (baseline timing)
     --flush                 flush caches between kernels (MGPUSim's model)
     --inject-deadlock       enable the Case Study 2 L2 write-buffer bug
+    --json                  (analyze) print the final LintReport as JSON
     -h, --help              show this help
 ";
 
 struct Args {
+    analyze: bool,
+    json: bool,
     workload: String,
     cus: Option<usize>,
     chiplets: Option<usize>,
@@ -61,6 +74,8 @@ fn die(msg: &str) -> ! {
 
 fn parse_args() -> Args {
     let mut args = Args {
+        analyze: false,
+        json: false,
         workload: "fir".into(),
         cus: None,
         chiplets: None,
@@ -80,6 +95,8 @@ fn parse_args() -> Args {
                 .unwrap_or_else(|| die(&format!("{name} needs a value")))
         };
         match arg.as_str() {
+            "analyze" => args.analyze = true,
+            "--json" => args.json = true,
             "--workload" => args.workload = value("--workload"),
             "--list-workloads" => {
                 for w in extended_suite() {
@@ -88,28 +105,28 @@ fn parse_args() -> Args {
                 exit(0);
             }
             "--cus" => {
-                args.cus = Some(value("--cus").parse().unwrap_or_else(|_| die("bad --cus")))
+                args.cus = Some(value("--cus").parse().unwrap_or_else(|_| die("bad --cus")));
             }
             "--chiplets" => {
                 args.chiplets = Some(
                     value("--chiplets")
                         .parse()
                         .unwrap_or_else(|_| die("bad --chiplets")),
-                )
+                );
             }
             "--net-bandwidth" => {
                 args.net_bandwidth = Some(
                     value("--net-bandwidth")
                         .parse()
                         .unwrap_or_else(|_| die("bad --net-bandwidth")),
-                )
+                );
             }
             "--net-latency-ns" => {
                 args.net_latency_ns = Some(
                     value("--net-latency-ns")
                         .parse()
                         .unwrap_or_else(|_| die("bad --net-latency-ns")),
-                )
+                );
             }
             "--config" => args.config = Some(value("--config")),
             "--dump-config" => {
@@ -121,7 +138,9 @@ fn parse_args() -> Args {
                 exit(0);
             }
             "--port" => {
-                args.port = value("--port").parse().unwrap_or_else(|_| die("bad --port"))
+                args.port = value("--port")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --port"));
             }
             "--hold" => args.hold = true,
             "--flush" => args.flush = true,
@@ -177,8 +196,93 @@ fn build_config(args: &Args) -> PlatformConfig {
     cfg
 }
 
+/// Prints one lint report section in human-readable form.
+fn print_findings(report: &akita::LintReport) {
+    println!(
+        "  {} components, {} connections, {} ports",
+        report.components, report.connections, report.ports
+    );
+    if report.findings.is_empty() {
+        println!("  no findings");
+    }
+    for f in &report.findings {
+        println!("  {f}");
+    }
+    for c in &report.potential_cycles {
+        println!(
+            "  info[potential-backpressure-cycle] {}",
+            c.members.join(" ~ ")
+        );
+    }
+}
+
+/// The `analyze` subcommand: static wiring lints, then a full run, then
+/// the runtime wait-for analysis. Exits nonzero on error-level findings
+/// or an observed deadlock.
+fn run_analyze(args: &Args) -> ! {
+    let workload = by_name(&args.workload).unwrap_or_else(|| {
+        die(&format!(
+            "unknown workload `{}` (try --list-workloads)",
+            args.workload
+        ))
+    });
+    let cfg = build_config(args);
+    let mut platform = Platform::build(cfg);
+    workload.enqueue(&mut platform.driver.borrow_mut());
+    platform.start();
+
+    if !args.json {
+        println!("== static analysis ==");
+        print_findings(&platform.sim.analyze());
+        println!("\nrunning workload `{}` to quiescence...", args.workload);
+    }
+    let summary = platform.sim.run();
+    let report = platform.sim.analyze();
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        println!(
+            "\n== runtime analysis ({} events, {} virtual) ==",
+            summary.events, summary.end_time
+        );
+        let d = &report.deadlock;
+        if d.is_deadlocked() {
+            println!(
+                "DEADLOCK: engine quiesced with {} message(s) still in flight",
+                d.in_flight
+            );
+            for cycle in &d.cycles {
+                println!("  blocked cycle: {}", cycle.join(" -> "));
+            }
+            for e in &d.wait_edges {
+                println!("  wait: {} -> {}  ({})", e.from, e.to, e.reason);
+            }
+            for s in &d.suspects {
+                println!("  suspect: {}: {}", s.component, s.reason);
+            }
+        } else if platform.driver.borrow().finished() {
+            println!("workload completed; no deadlock observed.");
+        } else {
+            println!("workload unfinished but no messages in flight (starvation?).");
+        }
+        println!(
+            "\n{} error(s), {} finding(s) total",
+            report.error_count(),
+            report.findings.len()
+        );
+    }
+    exit(if report.has_errors() { 4 } else { 0 })
+}
+
 fn main() {
     let args = parse_args();
+    if args.analyze {
+        run_analyze(&args);
+    }
     let workload = by_name(&args.workload).unwrap_or_else(|| {
         die(&format!(
             "unknown workload `{}` (try --list-workloads)",

@@ -12,7 +12,15 @@ fn list_workloads_names_the_suite() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     for name in [
-        "fir", "im2col", "matmul", "kmeans", "bitonic", "transpose", "aes", "spmv", "stencil2d",
+        "fir",
+        "im2col",
+        "matmul",
+        "kmeans",
+        "bitonic",
+        "transpose",
+        "aes",
+        "spmv",
+        "stencil2d",
     ] {
         assert!(text.contains(name), "missing {name} in {text}");
     }
@@ -27,7 +35,10 @@ fn help_prints_usage() {
 
 #[test]
 fn unknown_workload_fails_with_usage() {
-    let out = rtm_sim().args(["--workload", "nope"]).output().expect("run");
+    let out = rtm_sim()
+        .args(["--workload", "nope"])
+        .output()
+        .expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
 }
@@ -79,7 +90,14 @@ fn fir_runs_with_monitor_and_reports_progress() {
 #[test]
 fn injected_deadlock_reports_a_hang_and_nonzero_exit() {
     let out = rtm_sim()
-        .args(["--workload", "fir", "--cus", "2", "--inject-deadlock", "--no-monitor"])
+        .args([
+            "--workload",
+            "fir",
+            "--cus",
+            "2",
+            "--inject-deadlock",
+            "--no-monitor",
+        ])
         .output()
         .expect("run");
     assert_eq!(out.status.code(), Some(3), "hang must exit nonzero");

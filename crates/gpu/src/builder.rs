@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use akita::{
-    Component, ComponentId, DirectConnection, Port, ProgressRegistry, Simulation, VTime,
-};
+use akita::{Component, ComponentId, DirectConnection, Port, ProgressRegistry, Simulation, VTime};
 use akita_mem::{
     AddressTranslator, AtConfig, ChipletRouter, Dram, DramConfig, InterleavedLowModules,
     Interleaving, L1Cache, L1Config, L2Cache, L2Config, L2Tlb, L2TlbConfig, PageTable,
@@ -173,7 +171,15 @@ impl PlatformConfig {
     }
 }
 
+/// One shader array's front-end fabric: the connection plus the L1I and
+/// L1S top ports its CUs attach to.
+type SaFrontend = (Rc<RefCell<DirectConnection>>, Port, Port);
+
 /// Handles into one chiplet's components.
+///
+/// The handles are `Rc<RefCell<_>>` aliases of components owned by the
+/// simulation, so `Debug` prints a shape summary rather than borrowing
+/// every component.
 pub struct ChipletHandles {
     /// Compute units.
     pub cus: Vec<Rc<RefCell<ComputeUnit>>>,
@@ -189,6 +195,19 @@ pub struct ChipletHandles {
     pub dram: Rc<RefCell<Dram>>,
     /// The RDMA engine (absent on single-chiplet platforms).
     pub rdma: Option<Rc<RefCell<RdmaEngine>>>,
+}
+
+impl std::fmt::Debug for ChipletHandles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChipletHandles")
+            .field("cus", &self.cus.len())
+            .field("robs", &self.robs.len())
+            .field("ats", &self.ats.len())
+            .field("l1s", &self.l1s.len())
+            .field("l2s", &self.l2s.len())
+            .field("rdma", &self.rdma.is_some())
+            .finish()
+    }
 }
 
 /// A fully wired simulation platform.
@@ -214,6 +233,9 @@ impl Platform {
     /// # Panics
     ///
     /// Panics on inconsistent configuration (zero chiplets/CUs/banks).
+    // By-value `cfg` keeps the `Platform::build(PlatformConfig { .. })`
+    // call sites struct-literal friendly.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn build(cfg: PlatformConfig) -> Platform {
         assert!(cfg.chiplets > 0, "need at least one chiplet");
         assert!(cfg.gpu.cus_per_chiplet > 0, "need at least one CU");
@@ -250,18 +272,13 @@ impl Platform {
 
         // Control network: the dispatcher flushes caches between kernels
         // over this fabric (when enabled).
-        let (_, ctrl_conn) = sim.register(DirectConnection::new(
-            "GPU.CtrlConn",
-            VTime::from_ns(5),
-        ));
+        let (_, ctrl_conn) = sim.register(DirectConnection::new("GPU.CtrlConn", VTime::from_ns(5)));
         let dispatch_ctrl_port = dispatcher.borrow().ctrl_port.clone();
         sim.connect(&ctrl_conn, &dispatch_ctrl_port, dispatcher_id);
 
         // Dispatch network reaching every CU on every chiplet.
-        let (_, dispatch_conn) = sim.register(DirectConnection::new(
-            "GPU.DispatchConn",
-            VTime::from_ns(5),
-        ));
+        let (_, dispatch_conn) =
+            sim.register(DirectConnection::new("GPU.DispatchConn", VTime::from_ns(5)));
         sim.connect(&dispatch_conn, &dispatch_cu_port, dispatcher_id);
 
         let mut chiplets = Vec::with_capacity(cfg.chiplets);
@@ -365,8 +382,7 @@ impl Platform {
             // Front-end caches: one L1I + L1S per shader array, shared by
             // its CUs, reaching memory through the chiplet crossbar.
             let num_sas = cfg.gpu.cus_per_chiplet.div_ceil(cfg.gpu.cus_per_sa);
-            let mut sa_frontends: Vec<Option<(Rc<RefCell<DirectConnection>>, Port, Port)>> =
-                Vec::new();
+            let mut sa_frontends: Vec<Option<SaFrontend>> = Vec::new();
             if cfg.gpu.frontend_caches {
                 for s in 0..num_sas {
                     let prefix = format!("GPU[{c}].SA[{s}]");
@@ -375,8 +391,7 @@ impl Platform {
                         VTime::from_ps(1_000),
                     ));
                     let mut fe_tops = Vec::new();
-                    for (label, fe_cfg) in
-                        [("L1ICache", &cfg.gpu.l1i), ("L1SCache", &cfg.gpu.l1s)]
+                    for (label, fe_cfg) in [("L1ICache", &cfg.gpu.l1i), ("L1SCache", &cfg.gpu.l1s)]
                     {
                         let cache =
                             L1Cache::new(&sim, &format!("{prefix}.{label}"), fe_cfg.clone());
@@ -384,17 +399,15 @@ impl Platform {
                         let bottom = cache.bottom.clone();
                         let (cache_id, cache) = sim.register(cache);
                         match rdma_l1_port_id {
-                            Some(rdma_port) => cache.borrow_mut().set_low(Box::new(
-                                ChipletRouter::new(
+                            Some(rdma_port) => {
+                                cache.borrow_mut().set_low(Box::new(ChipletRouter::new(
                                     chiplet_il,
                                     c as u64,
                                     bank_finder.clone(),
                                     rdma_port,
-                                ),
-                            )),
-                            None => cache
-                                .borrow_mut()
-                                .set_low(Box::new(bank_finder.clone())),
+                                )))
+                            }
+                            None => cache.borrow_mut().set_low(Box::new(bank_finder.clone())),
                         }
                         sim.connect(&fe_conn, &top, cache_id);
                         sim.connect(&xbar, &bottom, cache_id);
@@ -420,23 +433,18 @@ impl Platform {
                 let mut cu_cfg = cfg.gpu.cu.clone();
                 cu_cfg.frontend = cfg.gpu.frontend_caches;
                 let cu = ComputeUnit::new(&sim, &format!("{prefix}.CU[{k}]"), cu_cfg);
-                let rob = ReorderBuffer::new(
-                    &sim,
-                    &format!("{prefix}.L1VROB[{k}]"),
-                    cfg.gpu.rob.clone(),
-                );
+                let rob =
+                    ReorderBuffer::new(&sim, &format!("{prefix}.L1VROB[{k}]"), cfg.gpu.rob.clone());
                 let at = AddressTranslator::new(
                     &sim,
                     &format!("{prefix}.L1VAddrTrans[{k}]"),
                     Rc::clone(&page_table),
                     cfg.gpu.at.clone(),
                 );
-                let l1 =
-                    L1Cache::new(&sim, &format!("{prefix}.L1VCache[{k}]"), cfg.gpu.l1.clone());
+                let l1 = L1Cache::new(&sim, &format!("{prefix}.L1VCache[{k}]"), cfg.gpu.l1.clone());
 
                 let cu_mem = cu.mem_port.clone();
-                let cu_ifetch = cu.ifetch_port.clone();
-                let cu_scalar = cu.scalar_port.clone();
+                let cu_frontend = cu.ifetch_port.clone().zip(cu.scalar_port.clone());
                 let cu_dispatch = cu.dispatch_port.clone();
                 let rob_top = rob.top.clone();
                 let rob_bottom = rob.bottom.clone();
@@ -456,8 +464,9 @@ impl Platform {
                 at.borrow_mut()
                     .set_low(Box::new(SingleLowModule(l1_top.id())));
                 if let Some((tlb_conn, tlb_top)) = &l2tlb_top {
-                    at.borrow_mut().set_l2_tlb(tlb_top.id());
-                    let at_tlb_port = at.borrow().tlb_port.clone();
+                    let at_tlb_port = at
+                        .borrow_mut()
+                        .set_l2_tlb(&sim.buffer_registry(), tlb_top.id());
                     sim.connect(tlb_conn, &at_tlb_port, at_id);
                 }
                 match rdma_l1_port_id {
@@ -498,8 +507,11 @@ impl Platform {
                 if let Some((fe_conn, l1i_top, l1s_top)) = &sa_frontends[s] {
                     cu.borrow_mut().set_l1i(l1i_top.id());
                     cu.borrow_mut().set_l1s(l1s_top.id());
-                    sim.connect(fe_conn, &cu_ifetch, cu_id);
-                    sim.connect(fe_conn, &cu_scalar, cu_id);
+                    let (cu_ifetch, cu_scalar) = cu_frontend
+                        .as_ref()
+                        .expect("front-end caches imply front-end CU ports");
+                    sim.connect(fe_conn, cu_ifetch, cu_id);
+                    sim.connect(fe_conn, cu_scalar, cu_id);
                 }
 
                 handles.cus.push(cu);

@@ -88,10 +88,14 @@ pub struct ComputeUnit {
     base: CompBase,
     /// Port into the memory hierarchy (to the ROB's top port).
     pub mem_port: Port,
-    /// Port to the shader array's L1I cache (instruction fetch).
-    pub ifetch_port: Port,
-    /// Port to the shader array's L1S cache (scalar loads).
-    pub scalar_port: Port,
+    /// Port to the shader array's L1I cache (instruction fetch). Only
+    /// present when the front end is modeled — an unconditional port
+    /// would sit unattached on non-frontend builds and trip the
+    /// `unattached-port` lint.
+    pub ifetch_port: Option<Port>,
+    /// Port to the shader array's L1S cache (scalar loads); see
+    /// [`ComputeUnit::ifetch_port`].
+    pub scalar_port: Option<Port>,
     /// Port to the dispatcher.
     pub dispatch_port: Port,
     rob_dst: Option<PortId>,
@@ -119,8 +123,14 @@ impl ComputeUnit {
     pub fn new(sim: &Simulation, name: &str, cfg: CuConfig) -> Self {
         let reg = sim.buffer_registry();
         let mem_port = Port::new(&reg, format!("{name}.MemPort"), cfg.mem_buf);
-        let ifetch_port = Port::new(&reg, format!("{name}.IFetchPort"), 4);
-        let scalar_port = Port::new(&reg, format!("{name}.ScalarPort"), 4);
+        let (ifetch_port, scalar_port) = if cfg.frontend {
+            (
+                Some(Port::new(&reg, format!("{name}.IFetchPort"), 4)),
+                Some(Port::new(&reg, format!("{name}.ScalarPort"), 4)),
+            )
+        } else {
+            (None, None)
+        };
         let dispatch_port = Port::new(&reg, format!("{name}.DispatchPort"), cfg.max_wgs.max(2));
         ComputeUnit {
             base: CompBase::new("ComputeUnit", name),
@@ -222,8 +232,13 @@ impl ComputeUnit {
     }
 
     fn collect_frontend_responses(&mut self, ctx: &mut Ctx) -> bool {
+        let (Some(ifetch_port), Some(scalar_port)) =
+            (self.ifetch_port.clone(), self.scalar_port.clone())
+        else {
+            return false;
+        };
         let mut progress = false;
-        while let Some(msg) = self.ifetch_port.retrieve(ctx) {
+        while let Some(msg) = ifetch_port.retrieve(ctx) {
             let d = (*msg)
                 .downcast_ref::<DataReadyRsp>()
                 .unwrap_or_else(|| panic!("CU {}: unexpected ifetch response", self.name()));
@@ -238,7 +253,7 @@ impl ComputeUnit {
             }
             progress = true;
         }
-        while let Some(msg) = self.scalar_port.retrieve(ctx) {
+        while let Some(msg) = scalar_port.retrieve(ctx) {
             let d = (*msg)
                 .downcast_ref::<DataReadyRsp>()
                 .unwrap_or_else(|| panic!("CU {}: unexpected scalar response", self.name()));
@@ -268,6 +283,11 @@ impl ComputeUnit {
         let l1s = self
             .l1s_dst
             .unwrap_or_else(|| panic!("CU {}: front end enabled but L1S not wired", self.name()));
+        let (Some(ifetch_port), Some(scalar_port)) =
+            (self.ifetch_port.clone(), self.scalar_port.clone())
+        else {
+            panic!("CU {}: front end enabled but ports missing", self.name());
+        };
         let mut progress = false;
         for wg in &mut self.wgs {
             for (wf_idx, wf) in wg.wavefronts.iter_mut().enumerate() {
@@ -278,7 +298,7 @@ impl ComputeUnit {
                     // One kernarg read per wavefront, 16 bytes.
                     let req = ReadReq::new(l1s, wg.args_base, 16);
                     let id = req.meta.id;
-                    match self.scalar_port.send(ctx, Box::new(req)) {
+                    match scalar_port.send(ctx, Box::new(req)) {
                         Ok(()) => {
                             self.scalar_outstanding.insert(id, (wg.wg_idx, wf_idx));
                             wf.scalar_outstanding = true;
@@ -295,7 +315,7 @@ impl ComputeUnit {
                 {
                     let req = ReadReq::new(l1i, wg.code_base + wf.fetch_offset, 64);
                     let id = req.meta.id;
-                    match self.ifetch_port.send(ctx, Box::new(req)) {
+                    match ifetch_port.send(ctx, Box::new(req)) {
                         Ok(()) => {
                             self.fetch_outstanding.insert(id, (wg.wg_idx, wf_idx));
                             wf.fetch_outstanding = true;

@@ -249,8 +249,9 @@ impl Dispatcher {
             self.cu_load[cu] += 1;
             self.wg_cu.insert(wg_idx, cu);
             let (code, args) = (k.kernel.code_base(), k.kernel.args_base());
-            let msg: Box<dyn Msg> =
-                Box::new(DispatchWgMsg::new(self.cu_dsts[cu], wg_idx, spec).with_segments(code, args));
+            let msg: Box<dyn Msg> = Box::new(
+                DispatchWgMsg::new(self.cu_dsts[cu], wg_idx, spec).with_segments(code, args),
+            );
             if let Err(m) = self.cu_port.send(ctx, msg) {
                 self.pending = Some(m);
             }

@@ -150,8 +150,8 @@ impl Driver {
                     }
                     Err(m) => {
                         // Port busy: put the task back and retry next tick.
-                        let launch = akita::downcast_msg::<LaunchKernelMsg>(m)
-                            .expect("we just built this");
+                        let launch =
+                            akita::downcast_msg::<LaunchKernelMsg>(m).expect("we just built this");
                         self.tasks.push_front(Task::Launch {
                             kernel: launch.kernel,
                         });
@@ -235,6 +235,11 @@ impl Component for Driver {
 
 impl std::fmt::Debug for Driver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Driver({} {} tasks queued)", self.name(), self.tasks.len())
+        write!(
+            f,
+            "Driver({} {} tasks queued)",
+            self.name(),
+            self.tasks.len()
+        )
     }
 }

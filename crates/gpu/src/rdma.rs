@@ -170,7 +170,8 @@ impl RdmaEngine {
             let (kind, addr, size, up_id, requester) = request_parts(&*msg, self.name());
             let owner = self.chiplets.owner_of(addr);
             assert_ne!(
-                owner, self.my_chiplet,
+                owner,
+                self.my_chiplet,
                 "RDMA {}: received a local-address request",
                 self.name()
             );
@@ -210,11 +211,10 @@ impl RdmaEngine {
                 break;
             }
             // Inbound requests also occupy a transaction slot.
-            let is_req = match self.net_port.peek(|m| {
+            let Some(is_req) = self.net_port.peek(|m| {
                 m.downcast_ref::<ReadReq>().is_some() || m.downcast_ref::<WriteReq>().is_some()
-            }) {
-                Some(v) => v,
-                None => break,
+            }) else {
+                break;
             };
             if is_req && self.trans.len() >= self.cfg.max_transactions {
                 break;

@@ -33,7 +33,11 @@ fn single_chiplet_kernel_completes() {
     let summary = p.sim.run();
     assert!(p.driver.borrow().finished(), "driver must drain its queue");
     assert_eq!(p.dispatcher.borrow().kernels_completed(), 1);
-    let total_wgs: u64 = p.chiplets[0].cus.iter().map(|cu| cu.borrow().stats().2).sum();
+    let total_wgs: u64 = p.chiplets[0]
+        .cus
+        .iter()
+        .map(|cu| cu.borrow().stats().2)
+        .sum();
     assert_eq!(total_wgs, 16);
     assert!(summary.events > 0);
 }

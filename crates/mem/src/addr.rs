@@ -112,44 +112,57 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// chunk_base is injective and owner_of is its left inverse: the
-        /// interleaving partitions the address space without overlap.
-        #[test]
-        fn interleaving_is_a_partition(
-            units in 1u64..16,
-            gran_log in 6u32..16,
-            owner_a in 0u64..16,
-            n_a in 0u64..1000,
-            owner_b in 0u64..16,
-            n_b in 0u64..1000,
-        ) {
+    /// Deterministic xorshift64* generator replacing proptest's runner in
+    /// this offline build; cases reproduce exactly across runs.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// chunk_base is injective and owner_of is its left inverse: the
+    /// interleaving partitions the address space without overlap.
+    #[test]
+    fn interleaving_is_a_partition() {
+        let mut rng = XorShift(0xA076_1D64_78BD_642F);
+        for _case in 0..256 {
+            let units = rng.next() % 15 + 1;
+            let gran_log = (rng.next() % 10 + 6) as u32;
             let il = Interleaving::new(units, 1 << gran_log);
-            let oa = owner_a % units;
-            let ob = owner_b % units;
+            let oa = rng.next() % units;
+            let ob = rng.next() % units;
+            let n_a = rng.next() % 1000;
+            let n_b = rng.next() % 1000;
             let a = il.chunk_base(oa, n_a);
             let b = il.chunk_base(ob, n_b);
-            prop_assert_eq!(il.owner_of(a), oa);
-            prop_assert_eq!(il.owner_of(b), ob);
+            assert_eq!(il.owner_of(a), oa);
+            assert_eq!(il.owner_of(b), ob);
             if (oa, n_a) != (ob, n_b) {
-                prop_assert_ne!(a, b);
+                assert_ne!(a, b);
             }
         }
+    }
 
-        /// Every address inside a chunk shares its base's owner.
-        #[test]
-        fn owner_is_constant_within_chunk(
-            units in 1u64..16,
-            gran_log in 6u32..16,
-            n in 0u64..1000,
-            off in 0u64..u64::MAX,
-        ) {
+    /// Every address inside a chunk shares its base's owner.
+    #[test]
+    fn owner_is_constant_within_chunk() {
+        let mut rng = XorShift(0xE703_7ED1_A0B4_28DB);
+        for _case in 0..256 {
+            let units = rng.next() % 15 + 1;
+            let gran_log = (rng.next() % 10 + 6) as u32;
             let gran = 1u64 << gran_log;
             let il = Interleaving::new(units, gran);
-            let base = il.chunk_base(0, n);
-            prop_assert_eq!(il.owner_of(base + off % gran), il.owner_of(base));
+            let base = il.chunk_base(0, rng.next() % 1000);
+            let off = rng.next();
+            assert_eq!(il.owner_of(base + off % gran), il.owner_of(base));
         }
     }
 }

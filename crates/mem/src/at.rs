@@ -14,7 +14,8 @@ use std::rc::Rc;
 use serde::{Deserialize, Serialize};
 
 use akita::{
-    CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, Port, PortId, Simulation, VTime,
+    BufferRegistry, CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, Port, PortId,
+    Simulation, VTime,
 };
 
 use crate::msg::{as_response, AccessKind, Addr, DataReadyRsp, ReadReq, WriteDoneRsp, WriteReq};
@@ -209,8 +210,10 @@ pub struct AddressTranslator {
     pub top: Port,
     /// Port facing the L1 cache.
     pub bottom: Port,
-    /// Port facing the shared L2 TLB (used when wired).
-    pub tlb_port: Port,
+    /// Port facing the shared L2 TLB. Created by
+    /// [`AddressTranslator::set_l2_tlb`] — platforms without an L2 TLB
+    /// never materialize it, so it cannot sit around unattached.
+    pub tlb_port: Option<Port>,
     /// L1-TLB misses go to this L2 TLB instead of paying the fixed walk
     /// latency, when set.
     l2tlb_dst: Option<PortId>,
@@ -239,13 +242,12 @@ impl AddressTranslator {
         let reg = sim.buffer_registry();
         let top = Port::new(&reg, format!("{name}.TopPort"), cfg.top_buf);
         let bottom = Port::new(&reg, format!("{name}.BottomPort"), cfg.bottom_buf);
-        let tlb_port = Port::new(&reg, format!("{name}.TlbPort"), 4);
         let up_queue = SendQueue::new(top.clone(), cfg.width.max(4));
         AddressTranslator {
             base: CompBase::new("AddressTranslator", name),
             top,
             bottom,
-            tlb_port,
+            tlb_port: None,
             l2tlb_dst: None,
             waiting_tlb: HashMap::new(),
             pending_tlb: None,
@@ -268,9 +270,13 @@ impl AddressTranslator {
     }
 
     /// Routes L1-TLB misses to a shared L2 TLB instead of the fixed
-    /// walk-latency model.
-    pub fn set_l2_tlb(&mut self, dst: PortId) {
+    /// walk-latency model. Creates and returns the TLB-facing port so the
+    /// caller can attach it to the TLB's connection.
+    pub fn set_l2_tlb(&mut self, reg: &BufferRegistry, dst: PortId) -> Port {
         self.l2tlb_dst = Some(dst);
+        let port = Port::new(reg, format!("{}.TlbPort", self.name()), 4);
+        self.tlb_port = Some(port.clone());
+        port
     }
 
     /// Translations that were still inside their latency window at the
@@ -308,7 +314,10 @@ impl AddressTranslator {
                 .unwrap_or_else(|| panic!("AT {}: unexpected message from below", self.name()));
             let (requester, up_id, kind, size) =
                 self.down_map.remove(&respond_to).unwrap_or_else(|| {
-                    panic!("AT {}: response {respond_to} matches no translation", self.name())
+                    panic!(
+                        "AT {}: response {respond_to} matches no translation",
+                        self.name()
+                    )
                 });
             let rsp: Box<dyn Msg> = match kind {
                 AccessKind::Read => Box::new(DataReadyRsp::new(requester, up_id, size)),
@@ -351,8 +360,10 @@ impl AddressTranslator {
                 AccessKind::Read => Box::new(ReadReq::new(dst, head.phys, head.size)),
                 AccessKind::Write => Box::new(WriteReq::new(dst, head.phys, head.size)),
             };
-            self.down_map
-                .insert(down.meta().id, (head.requester, head.up_id, head.kind, head.size));
+            self.down_map.insert(
+                down.meta().id,
+                (head.requester, head.up_id, head.kind, head.size),
+            );
             self.translated += 1;
             if let Err(m) = self.bottom.send(ctx, down) {
                 self.pending_down = Some(m);
@@ -365,9 +376,12 @@ impl AddressTranslator {
     /// Retries a blocked L2 TLB request and admits completed translations
     /// into the issue pipeline.
     fn collect_tlb(&mut self, ctx: &mut Ctx) -> bool {
+        let Some(tlb_port) = self.tlb_port.clone() else {
+            return false;
+        };
         let mut progress = false;
         if let Some(msg) = self.pending_tlb.take() {
-            match self.tlb_port.send(ctx, msg) {
+            match tlb_port.send(ctx, msg) {
                 Ok(()) => progress = true,
                 Err(msg) => {
                     self.pending_tlb = Some(msg);
@@ -377,7 +391,7 @@ impl AddressTranslator {
         }
         let now = ctx.now();
         while self.pipeline.len() < self.cfg.depth {
-            let Some(msg) = self.tlb_port.retrieve(ctx) else {
+            let Some(msg) = tlb_port.retrieve(ctx) else {
                 break;
             };
             let rsp = (*msg)
@@ -419,15 +433,14 @@ impl AddressTranslator {
             let Some(msg) = self.top.retrieve(ctx) else {
                 break;
             };
-            let (kind, vaddr, size, up_id, requester) = if let Some(r) =
-                (*msg).downcast_ref::<ReadReq>()
-            {
-                (AccessKind::Read, r.addr, r.size, r.meta.id, r.meta.src)
-            } else if let Some(w) = (*msg).downcast_ref::<WriteReq>() {
-                (AccessKind::Write, w.addr, w.size, w.meta.id, w.meta.src)
-            } else {
-                panic!("AT {}: unexpected message from above", self.name());
-            };
+            let (kind, vaddr, size, up_id, requester) =
+                if let Some(r) = (*msg).downcast_ref::<ReadReq>() {
+                    (AccessKind::Read, r.addr, r.size, r.meta.id, r.meta.src)
+                } else if let Some(w) = (*msg).downcast_ref::<WriteReq>() {
+                    (AccessKind::Write, w.addr, w.size, w.meta.id, w.meta.src)
+                } else {
+                    panic!("AT {}: unexpected message from above", self.name());
+                };
             let vpage = vaddr / self.page_table.page_size();
             let hit = self.tlb.access(vpage);
             if !hit {
@@ -443,7 +456,14 @@ impl AddressTranslator {
                             requester,
                         },
                     );
-                    if let Err(m) = self.tlb_port.send(ctx, Box::new(req)) {
+                    let tlb_port = self
+                        .tlb_port
+                        .as_ref()
+                        .unwrap_or_else(|| {
+                            panic!("AT {}: L2 TLB wired without a port", self.name())
+                        })
+                        .clone();
+                    if let Err(m) = tlb_port.send(ctx, Box::new(req)) {
                         self.pending_tlb = Some(m);
                     }
                     progress = true;
@@ -501,7 +521,11 @@ impl Component for AddressTranslator {
 
     fn state(&self) -> ComponentState {
         ComponentState::new()
-            .container("transactions", self.active_translations, Some(self.cfg.depth))
+            .container(
+                "transactions",
+                self.active_translations,
+                Some(self.cfg.depth),
+            )
             .container("pipeline", self.pipeline.len(), Some(self.cfg.depth))
             .container("awaiting_response", self.down_map.len(), None)
             .container("waiting_on_l2_tlb", self.waiting_tlb.len(), None)

@@ -163,7 +163,11 @@ impl L1Cache {
             };
             if let Some(d) = (*msg).downcast_ref::<DataReadyRsp>() {
                 let entry = self.mshr.complete(d.respond_to).unwrap_or_else(|| {
-                    panic!("L1 {}: fill {} matches no MSHR entry", self.name(), d.respond_to)
+                    panic!(
+                        "L1 {}: fill {} matches no MSHR entry",
+                        self.name(),
+                        d.respond_to
+                    )
                 });
                 // Write-through caches only ever hold clean lines, so the
                 // victim needs no write-back.
@@ -192,7 +196,11 @@ impl L1Cache {
                 progress = true;
             } else if let Some(wd) = (*msg).downcast_ref::<WriteDoneRsp>() {
                 let w = self.writes.remove(&wd.respond_to).unwrap_or_else(|| {
-                    panic!("L1 {}: write-done {} matches no write", self.name(), wd.respond_to)
+                    panic!(
+                        "L1 {}: write-done {} matches no write",
+                        self.name(),
+                        wd.respond_to
+                    )
                 });
                 self.up_queue
                     .push(Box::new(WriteDoneRsp::new(w.requester, w.req_id)));
@@ -408,7 +416,11 @@ impl Component for L1Cache {
         ComponentState::new()
             .container("transactions", self.transactions(), Some(cap))
             .container("mshr", self.mshr.len(), Some(self.cfg.mshr_entries))
-            .container("writes_in_flight", self.writes.len(), Some(self.cfg.write_slots))
+            .container(
+                "writes_in_flight",
+                self.writes.len(),
+                Some(self.cfg.write_slots),
+            )
             .field("hits", self.hits)
             .field("misses", self.misses)
             .field("write_count", self.write_count)

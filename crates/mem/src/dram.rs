@@ -102,7 +102,11 @@ impl Dram {
     pub fn new(sim: &Simulation, name: &str, cfg: DramConfig) -> Self {
         assert!(cfg.banks > 0, "need at least one bank");
         assert!(cfg.row_bytes.is_power_of_two(), "row size must be 2^n");
-        let top = Port::new(&sim.buffer_registry(), format!("{name}.TopPort"), cfg.top_buf);
+        let top = Port::new(
+            &sim.buffer_registry(),
+            format!("{name}.TopPort"),
+            cfg.top_buf,
+        );
         Dram {
             base: CompBase::new("DRAM", name),
             top,
@@ -173,7 +177,10 @@ impl Dram {
             let (addr, rsp): (Addr, Box<dyn Msg>) =
                 if let Some(r) = (*msg).downcast_ref::<ReadReq>() {
                     self.reads += 1;
-                    (r.addr, Box::new(DataReadyRsp::new(r.meta.src, r.meta.id, r.size)))
+                    (
+                        r.addr,
+                        Box::new(DataReadyRsp::new(r.meta.src, r.meta.id, r.size)),
+                    )
                 } else if let Some(w) = (*msg).downcast_ref::<WriteReq>() {
                     self.writes += 1;
                     (w.addr, Box::new(WriteDoneRsp::new(w.meta.src, w.meta.id)))
@@ -187,7 +194,7 @@ impl Dram {
                 self.row_hits += 1;
             } else {
                 self.row_misses += 1;
-                access = access + self.cfg.row_miss_penalty;
+                access += self.cfg.row_miss_penalty;
                 bank.open_row = Some(row);
             }
             let start = bank.next_free.max(now);

@@ -221,11 +221,10 @@ impl L2Cache {
     /// eviction acknowledgments.
     fn collect_responses(&mut self, ctx: &mut Ctx) -> bool {
         let mut progress = false;
-        loop {
-            let Some(is_fill) = self.bottom.peek(|m| m.downcast_ref::<DataReadyRsp>().is_some())
-            else {
-                break;
-            };
+        while let Some(is_fill) = self
+            .bottom
+            .peek(|m| m.downcast_ref::<DataReadyRsp>().is_some())
+        {
             if is_fill && self.write_buffer.len() >= self.cfg.write_buffer_cap {
                 // Fetched data must pass through the write buffer; full
                 // buffer backpressures DRAM.
@@ -325,8 +324,7 @@ impl L2Cache {
                         });
                         let needs_evict_slot = self.staging_evict.is_some()
                             || matches!(self.dir.peek_victim(line), Victim::Dirty(_));
-                        if needs_evict_slot
-                            && self.write_buffer.len() >= self.cfg.write_buffer_cap
+                        if needs_evict_slot && self.write_buffer.len() >= self.cfg.write_buffer_cap
                         {
                             break;
                         }

@@ -38,5 +38,5 @@ pub use msg::{Addr, DataReadyRsp, ReadReq, WriteDoneRsp, WriteReq};
 pub use mshr::{Mshr, MshrEntry, Waiter};
 pub use plumbing::SendQueue;
 pub use rob::{ReorderBuffer, RobConfig};
-pub use tlb2::{L2Tlb, L2TlbConfig, TranslationReq, TranslationRsp};
 pub use routing::{ChipletRouter, InterleavedLowModules, LowModuleFinder, SingleLowModule};
+pub use tlb2::{L2Tlb, L2TlbConfig, TranslationReq, TranslationRsp};

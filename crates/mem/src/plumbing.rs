@@ -50,7 +50,11 @@ impl SendQueue {
     /// Panics when full — callers must check [`SendQueue::can_push`]; this
     /// models a hardware queue that cannot overflow.
     pub fn push(&mut self, msg: Box<dyn Msg>) {
-        assert!(self.can_push(), "send queue overflow on {}", self.port.name());
+        assert!(
+            self.can_push(),
+            "send queue overflow on {}",
+            self.port.name()
+        );
         self.queue.push_back(msg);
     }
 

@@ -155,9 +155,8 @@ impl ReorderBuffer {
             }
             progress = true;
         }
-        let dst = match self.bottom_dst {
-            Some(d) => d,
-            None => return progress,
+        let Some(dst) = self.bottom_dst else {
+            return progress;
         };
         for _ in 0..self.cfg.width {
             if self.entries.len() >= self.cfg.capacity || self.pending_down.is_some() {

@@ -10,8 +10,8 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use akita::{
-    impl_msg, CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, MsgMeta, Port,
-    PortId, Simulation, VTime,
+    impl_msg, CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, MsgMeta, Port, PortId,
+    Simulation, VTime,
 };
 use serde::{Deserialize, Serialize};
 
@@ -112,7 +112,11 @@ pub struct L2Tlb {
 impl L2Tlb {
     /// Creates an L2 TLB named `name`.
     pub fn new(sim: &Simulation, name: &str, page_table: Rc<PageTable>, cfg: L2TlbConfig) -> Self {
-        let top = Port::new(&sim.buffer_registry(), format!("{name}.TopPort"), cfg.top_buf);
+        let top = Port::new(
+            &sim.buffer_registry(),
+            format!("{name}.TopPort"),
+            cfg.top_buf,
+        );
         L2Tlb {
             base: CompBase::new("L2TLB", name),
             top,

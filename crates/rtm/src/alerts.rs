@@ -113,7 +113,7 @@ impl AlertEngine {
         let id = AlertId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
         self.rules
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(
                 id,
                 AlertState {
@@ -129,14 +129,17 @@ impl AlertEngine {
     pub fn remove(&self, id: AlertId) -> bool {
         self.rules
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .remove(&id)
             .is_some()
     }
 
     /// Number of installed rules.
     pub fn len(&self) -> usize {
-        self.rules.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.rules
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Whether no rules are installed.
@@ -146,7 +149,10 @@ impl AlertEngine {
 
     /// All rules' live status, sorted by id.
     pub fn statuses(&self) -> Vec<AlertStatus> {
-        let rules = self.rules.lock().unwrap_or_else(|e| e.into_inner());
+        let rules = self
+            .rules
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out: Vec<AlertStatus> = rules
             .iter()
             .map(|(id, s)| AlertStatus {
@@ -163,7 +169,10 @@ impl AlertEngine {
     /// Feeds one observed sample into rule `id` directly (used by tests and
     /// custom drivers). Returns a fired alert if the streak completed.
     pub fn observe(&self, id: AlertId, sim_time: VTime, value: f64) -> Option<FiredAlert> {
-        let mut rules = self.rules.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rules = self
+            .rules
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let state = rules.get_mut(&id)?;
         if state.fired.is_some() {
             return None;
@@ -192,7 +201,10 @@ impl AlertEngine {
     pub fn evaluate(&self, client: &QueryClient) -> Vec<FiredAlert> {
         // Snapshot targets without holding the lock across queries.
         let targets: Vec<(AlertId, String, String)> = {
-            let rules = self.rules.lock().unwrap_or_else(|e| e.into_inner());
+            let rules = self
+                .rules
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             rules
                 .iter()
                 .filter(|(_, s)| s.fired.is_none())

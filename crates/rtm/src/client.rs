@@ -51,7 +51,11 @@ pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
 ///
 /// IO errors from connecting, writing, or reading; malformed responses
 /// surface as `InvalidData`.
-pub fn post(addr: SocketAddr, path: &str, json_body: Option<&str>) -> std::io::Result<HttpResponse> {
+pub fn post(
+    addr: SocketAddr,
+    path: &str,
+    json_body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
     request(addr, "POST", path, json_body)
 }
 
@@ -127,8 +131,8 @@ fn decode_chunked(raw: &str) -> std::io::Result<String> {
         let (size_line, after) = rest
             .split_once("\r\n")
             .ok_or_else(|| invalid("truncated chunk header"))?;
-        let size = usize::from_str_radix(size_line.trim(), 16)
-            .map_err(|_| invalid("bad chunk size"))?;
+        let size =
+            usize::from_str_radix(size_line.trim(), 16).map_err(|_| invalid("bad chunk size"))?;
         if size == 0 {
             return Ok(out);
         }
@@ -148,7 +152,8 @@ mod tests {
 
     #[test]
     fn parses_content_length_response() {
-        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
         let r = parse_response(raw).unwrap();
         assert_eq!(r.status, 200);
         assert_eq!(r.body, "{}");

@@ -1,0 +1,300 @@
+//! A small threaded HTTP/1.1 server on `std::net` only.
+//!
+//! The offline build environment has no async stack, so the web backend
+//! runs on plain blocking sockets: one acceptor thread polls a
+//! non-blocking listener (so shutdown needs no self-connect tricks), and
+//! each accepted connection is handled on its own short-lived thread —
+//! handlers may block for seconds on an engine query without stalling
+//! other dashboard clients. Every response carries `Content-Length` and
+//! `Connection: close`, which both browsers and the in-tree
+//! [`client`](crate::client) handle.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method, e.g. `GET`.
+    pub method: String,
+    /// Percent-decoded path without the query string, e.g. `/api/status`.
+    pub path: String,
+    /// Percent-decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Raw request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first query parameter named `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as JSON into `T`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates UTF-8 and JSON errors as a message suitable for a 400.
+    pub fn json_body<T: serde::Deserialize>(&self) -> Result<T, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|e| e.to_string())?;
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, value: &impl serde::Serialize) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: serde_json::to_string(value)
+                .expect("shim serialization is infallible")
+                .into_bytes(),
+        }
+    }
+
+    /// A `200 OK` HTML response.
+    pub fn html(body: &str) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)
+    }
+}
+
+/// Decodes `%XX` escapes and `+` in a URL component.
+#[must_use]
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                if let Some(b) = hex {
+                    out.push(b);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed request line");
+    let method = parts.next().ok_or_else(bad)?.to_ascii_uppercase();
+    let target = parts.next().ok_or_else(bad)?;
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+
+    Ok(Request {
+        method,
+        path: percent_decode(path_raw),
+        query: parse_query(query_raw),
+        body,
+    })
+}
+
+/// A running HTTP server; dropping it does **not** stop it — see
+/// [`HttpServer::stop`].
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` and serves `handler` on a background acceptor thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn serve<H>(addr: SocketAddr, handler: H) -> std::io::Result<HttpServer>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handler = Arc::new(handler);
+        let thread = std::thread::Builder::new()
+            .name("rtm-server".into())
+            .spawn(move || accept_loop(&listener, &stop_flag, &handler))?;
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the acceptor to stop and joins it. In-flight connection
+    /// threads finish their current response on their own.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop<H>(listener: &TcpListener, stop: &AtomicBool, handler: &Arc<H>)
+where
+    H: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let handler = Arc::clone(handler);
+                // One short-lived thread per connection: handlers may block
+                // on the engine's reply without holding up other clients.
+                let _ = std::thread::Builder::new()
+                    .name("rtm-conn".into())
+                    .spawn(move || handle_connection(stream, &*handler));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection<H>(mut stream: TcpStream, handler: &H)
+where
+    H: Fn(&Request) -> Response,
+{
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+    if let Ok(request) = read_request(&mut stream) {
+        let response = handler(&request);
+        let _ = response.write_to(&mut stream);
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("GPU%5B0%5D.L2%5B1%5D"), "GPU[0].L2[1]");
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+    }
+
+    #[test]
+    fn query_parsing() {
+        let q = parse_query("name=GPU%5B0%5D&top=5&flag");
+        assert_eq!(q[0], ("name".to_string(), "GPU[0]".to_string()));
+        assert_eq!(q[1], ("top".to_string(), "5".to_string()));
+        assert_eq!(q[2], ("flag".to_string(), String::new()));
+    }
+}

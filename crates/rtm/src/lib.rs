@@ -35,6 +35,7 @@
 
 mod alerts;
 pub mod client;
+pub mod httpd;
 mod monitor;
 mod resources;
 mod server;
@@ -43,5 +44,5 @@ mod timeseries;
 pub use alerts::{AlertEngine, AlertId, AlertOp, AlertRule, AlertStatus, FiredAlert};
 pub use monitor::{sort_buffers, BufferSort, Monitor};
 pub use resources::{ResourceSampler, ResourceUsage};
-pub use server::{router, RtmServer, INDEX_HTML};
+pub use server::{route, RtmServer, INDEX_HTML};
 pub use timeseries::{Point, Series, ValueMonitor, WatchId, MAX_POINTS};

@@ -27,9 +27,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use akita::{
-    BufferSnapshot, ComponentInfo, ComponentStateDto, EngineStatus, ProfileReport, ProgressBarId,
-    ProgressRegistry, ProgressSnapshot, QueryClient, QueryError, RunState, Simulation,
-    TopologyEdge, TraceRecord, VTime,
+    BufferSnapshot, ComponentInfo, ComponentStateDto, EngineStatus, LintReport, ProfileReport,
+    ProgressBarId, ProgressRegistry, ProgressSnapshot, QueryClient, QueryError, RunState,
+    Simulation, TopologyEdge, TraceRecord, VTime,
 };
 use serde::{Deserialize, Serialize};
 
@@ -77,20 +77,19 @@ impl Monitor {
             let alerts = Arc::clone(&alerts);
             std::thread::Builder::new()
                 .name("rtm-value-sampler".into())
-                .spawn(move || loop {
+                .spawn(move || {
                     // The sleep doubles as the stop signal: dropping the
                     // sender ends the thread without waiting out the
                     // interval.
-                    match stop_rx.recv_timeout(sample_interval) {
-                        Err(mpsc::RecvTimeoutError::Timeout) => {
-                            if !values.is_empty() {
-                                let _ = values.sample_all(&client);
-                            }
-                            if !alerts.is_empty() {
-                                let _ = alerts.evaluate(&client);
-                            }
+                    while let Err(mpsc::RecvTimeoutError::Timeout) =
+                        stop_rx.recv_timeout(sample_interval)
+                    {
+                        if !values.is_empty() {
+                            let _ = values.sample_all(&client);
                         }
-                        Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        if !alerts.is_empty() {
+                            let _ = alerts.evaluate(&client);
+                        }
                     }
                 })
                 .expect("spawn sampler thread")
@@ -180,6 +179,18 @@ impl Monitor {
     /// [`QueryError`] when the simulation is gone or unresponsive.
     pub fn topology(&self) -> Result<Vec<TopologyEdge>, QueryError> {
         self.client.topology()
+    }
+
+    /// Runs the topology lint and deadlock analyzer
+    /// ([`akita::Simulation::analyze`]) inside the simulation thread and
+    /// returns the full [`LintReport`] — structural findings, potential
+    /// backpressure cycles, and the runtime wait-for graph.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn analysis(&self) -> Result<LintReport, QueryError> {
+        self.client.analysis()
     }
 
     // --- Hang debugging (Case Study 2) --------------------------------

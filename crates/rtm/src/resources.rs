@@ -105,7 +105,10 @@ impl ResourceSampler {
         let Some(raw) = self.read_raw() else {
             return ResourceUsage::default();
         };
-        let mut last = self.last.lock().unwrap_or_else(|e| e.into_inner());
+        let mut last = self
+            .last
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let cpu_percent = match *last {
             Some(prev) => {
                 let wall = raw.at.duration_since(prev.at).as_secs_f64();

@@ -7,91 +7,60 @@
 //! and serves the static frontend plus the JSON API. All handlers go
 //! through the shared [`Monitor`], which talks to the engine over its
 //! query channel; the simulation thread is never blocked by HTTP traffic.
+//!
+//! The HTTP plumbing itself lives in [`crate::httpd`]; this module is the
+//! route table.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use axum::extract::{Path, Query, State};
-use axum::http::StatusCode;
-use axum::response::{Html, IntoResponse, Response};
-use axum::routing::{delete, get, post};
-use axum::{Json, Router};
 use serde::{Deserialize, Serialize};
 use serde_json::json;
 
 use akita::QueryError;
 
 use crate::alerts::{AlertId, AlertRule};
+use crate::httpd::{HttpServer, Request, Response};
 use crate::monitor::{BufferSort, Monitor};
 use crate::timeseries::WatchId;
 
 /// The embedded single-page dashboard.
 pub const INDEX_HTML: &str = include_str!("../static/index.html");
 
-type Shared = Arc<Monitor>;
-
-fn query_error(e: QueryError) -> Response {
-    (
-        StatusCode::SERVICE_UNAVAILABLE,
-        Json(json!({ "error": e.to_string() })),
-    )
-        .into_response()
+fn query_error(e: &QueryError) -> Response {
+    Response::json(503, &json!({ "error": (e.to_string()) }))
 }
 
-async fn index() -> Html<&'static str> {
-    Html(INDEX_HTML)
+fn not_found(msg: &str) -> Response {
+    Response::json(404, &json!({ "error": msg }))
+}
+
+fn bad_request(msg: &str) -> Response {
+    Response::json(400, &json!({ "error": msg }))
+}
+
+fn ok_json(value: &impl Serialize) -> Response {
+    Response::json(200, value)
+}
+
+/// `Result<T, QueryError>` to a 200/503 response.
+fn respond<T: Serialize>(r: Result<T, QueryError>) -> Response {
+    match r {
+        Ok(v) => ok_json(&v),
+        Err(e) => query_error(&e),
+    }
 }
 
 /// Lock-free heartbeat: virtual time, run state, events — the fields the
 /// passive-browser view refreshes continuously (Fig 2 C).
-async fn api_now(State(m): State<Shared>) -> Json<serde_json::Value> {
+fn api_now(m: &Monitor) -> Response {
     let now = m.now();
-    Json(json!({
-        "now_ps": now.ps(),
-        "now_sec": now.as_sec(),
-        "state": m.run_state(),
-        "events": m.client().events_handled(),
+    ok_json(&json!({
+        "now_ps": (now.ps()),
+        "now_sec": (now.as_sec()),
+        "state": (m.run_state()),
+        "events": (m.client().events_handled()),
     }))
-}
-
-async fn api_status(State(m): State<Shared>) -> Response {
-    match m.status() {
-        Ok(s) => Json(s).into_response(),
-        Err(e) => query_error(e),
-    }
-}
-
-async fn api_components(State(m): State<Shared>) -> Response {
-    match m.components() {
-        Ok(c) => Json(c).into_response(),
-        Err(e) => query_error(e),
-    }
-}
-
-#[derive(Debug, Deserialize)]
-struct NameParam {
-    name: String,
-}
-
-async fn api_component(State(m): State<Shared>, Query(p): Query<NameParam>) -> Response {
-    match m.component_state(&p.name) {
-        Ok(Some(dto)) => Json(dto).into_response(),
-        Ok(None) => (
-            StatusCode::NOT_FOUND,
-            Json(json!({ "error": format!("no component named {}", p.name) })),
-        )
-            .into_response(),
-        Err(e) => query_error(e),
-    }
-}
-
-#[derive(Debug, Deserialize)]
-struct BufferParams {
-    #[serde(default)]
-    sort: Option<String>,
-    #[serde(default)]
-    top: Option<usize>,
 }
 
 /// One row of the buffer analyzer table (Fig 3).
@@ -103,12 +72,13 @@ struct BufferRow {
     percent: f64,
 }
 
-async fn api_buffers(State(m): State<Shared>, Query(p): Query<BufferParams>) -> Response {
-    let sort = match p.sort.as_deref() {
+fn api_buffers(m: &Monitor, req: &Request) -> Response {
+    let sort = match req.query_param("sort") {
         Some("percent") => BufferSort::Percent,
         _ => BufferSort::Size,
     };
-    match m.buffers(sort, p.top) {
+    let top = req.query_param("top").and_then(|t| t.parse().ok());
+    match m.buffers(sort, top) {
         Ok(buffers) => {
             let rows: Vec<BufferRow> = buffers
                 .into_iter()
@@ -119,147 +89,34 @@ async fn api_buffers(State(m): State<Shared>, Query(p): Query<BufferParams>) -> 
                     capacity: b.capacity,
                 })
                 .collect();
-            Json(rows).into_response()
+            ok_json(&rows)
         }
-        Err(e) => query_error(e),
+        Err(e) => query_error(&e),
     }
 }
 
-async fn api_progress(State(m): State<Shared>) -> Json<serde_json::Value> {
+fn api_progress(m: &Monitor) -> Response {
     let bars: Vec<serde_json::Value> = m
         .progress()
         .into_iter()
         .map(|b| {
             json!({
-                "id": b.id,
-                "name": b.name,
-                "total": b.total,
-                "finished": b.finished,
-                "in_progress": b.in_progress,
-                "not_started": b.not_started(),
-                "fraction": b.fraction(),
+                "id": (b.id),
+                "name": (b.name),
+                "total": (b.total),
+                "finished": (b.finished),
+                "in_progress": (b.in_progress),
+                "not_started": (b.not_started()),
+                "fraction": (b.fraction()),
             })
         })
         .collect();
-    Json(json!(bars))
-}
-
-async fn api_resources(State(m): State<Shared>) -> Json<crate::ResourceUsage> {
-    Json(m.resources())
+    ok_json(&bars)
 }
 
 #[derive(Debug, Deserialize)]
-struct ProfileParams {
-    #[serde(default)]
-    top: Option<usize>,
-}
-
-async fn api_profile(State(m): State<Shared>, Query(p): Query<ProfileParams>) -> Response {
-    match m.profile(p.top.unwrap_or(15)) {
-        Ok(report) => Json(report).into_response(),
-        Err(e) => query_error(e),
-    }
-}
-
-#[derive(Debug, Deserialize)]
-struct ProfileEnable {
+struct EnableBody {
     enabled: bool,
-}
-
-async fn api_profile_enable(
-    State(m): State<Shared>,
-    Json(body): Json<ProfileEnable>,
-) -> Response {
-    match m.set_profiling(body.enabled) {
-        Ok(()) => Json(json!({ "ok": true, "enabled": body.enabled })).into_response(),
-        Err(e) => query_error(e),
-    }
-}
-
-async fn api_pause(State(m): State<Shared>) -> Json<serde_json::Value> {
-    m.pause();
-    Json(json!({ "ok": true }))
-}
-
-async fn api_continue(State(m): State<Shared>) -> Json<serde_json::Value> {
-    m.resume();
-    Json(json!({ "ok": true }))
-}
-
-async fn api_kickstart(State(m): State<Shared>) -> Response {
-    match m.kick_start() {
-        Ok(woken) => Json(json!({ "ok": true, "woken": woken })).into_response(),
-        Err(e) => query_error(e),
-    }
-}
-
-async fn api_terminate(State(m): State<Shared>) -> Response {
-    match m.terminate() {
-        Ok(()) => Json(json!({ "ok": true })).into_response(),
-        Err(e) => query_error(e),
-    }
-}
-
-#[derive(Debug, Deserialize)]
-struct TraceParams {
-    #[serde(default)]
-    n: Option<usize>,
-}
-
-async fn api_trace(State(m): State<Shared>, Query(p): Query<TraceParams>) -> Response {
-    match m.trace(p.n.unwrap_or(200)) {
-        Ok(t) => Json(t).into_response(),
-        Err(e) => query_error(e),
-    }
-}
-
-#[derive(Debug, Deserialize)]
-struct TraceEnable {
-    enabled: bool,
-}
-
-async fn api_trace_enable(State(m): State<Shared>, Json(body): Json<TraceEnable>) -> Response {
-    match m.set_tracing(body.enabled) {
-        Ok(()) => Json(json!({ "ok": true, "enabled": body.enabled })).into_response(),
-        Err(e) => query_error(e),
-    }
-}
-
-async fn api_topology(State(m): State<Shared>) -> Response {
-    match m.topology() {
-        Ok(t) => Json(t).into_response(),
-        Err(e) => query_error(e),
-    }
-}
-
-#[derive(Debug, Deserialize)]
-struct ScheduleParams {
-    name: String,
-    code: u64,
-}
-
-async fn api_schedule(State(m): State<Shared>, Query(p): Query<ScheduleParams>) -> Response {
-    match m.schedule_custom(&p.name, p.code) {
-        Ok(true) => Json(json!({ "ok": true })).into_response(),
-        Ok(false) => (
-            StatusCode::NOT_FOUND,
-            Json(json!({ "error": format!("no component named {}", p.name) })),
-        )
-            .into_response(),
-        Err(e) => query_error(e),
-    }
-}
-
-async fn api_tick(State(m): State<Shared>, Query(p): Query<NameParam>) -> Response {
-    match m.tick_component(&p.name) {
-        Ok(found) if found => Json(json!({ "ok": true })).into_response(),
-        Ok(_) => (
-            StatusCode::NOT_FOUND,
-            Json(json!({ "error": format!("no component named {}", p.name) })),
-        )
-            .into_response(),
-        Err(e) => query_error(e),
-    }
 }
 
 #[derive(Debug, Deserialize)]
@@ -268,92 +125,128 @@ struct WatchRequest {
     field: String,
 }
 
-async fn api_watch_create(
-    State(m): State<Shared>,
-    Json(body): Json<WatchRequest>,
-) -> Json<serde_json::Value> {
-    let id = m.watch(&body.component, &body.field);
-    Json(json!({ "id": id }))
-}
-
-async fn api_watches(State(m): State<Shared>) -> Json<serde_json::Value> {
-    Json(json!(m.all_series()))
-}
-
-async fn api_watch_get(State(m): State<Shared>, Path(id): Path<u64>) -> Response {
-    match m.series(WatchId(id)) {
-        Some(series) => Json(series).into_response(),
-        None => (
-            StatusCode::NOT_FOUND,
-            Json(json!({ "error": format!("no watch {id}") })),
-        )
-            .into_response(),
+fn with_name<F>(req: &Request, f: F) -> Response
+where
+    F: FnOnce(&str) -> Response,
+{
+    match req.query_param("name") {
+        Some(name) => f(name),
+        None => bad_request("missing `name` query parameter"),
     }
 }
 
-async fn api_watch_delete(State(m): State<Shared>, Path(id): Path<u64>) -> Response {
-    if m.unwatch(WatchId(id)) {
-        Json(json!({ "ok": true })).into_response()
-    } else {
-        (
-            StatusCode::NOT_FOUND,
-            Json(json!({ "error": format!("no watch {id}") })),
-        )
-            .into_response()
+/// Routes one request. Exposed for in-process testing.
+#[must_use]
+pub fn route(m: &Monitor, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/") => Response::html(INDEX_HTML),
+        ("GET", "/api/now") => api_now(m),
+        ("GET", "/api/status") => respond(m.status()),
+        ("GET", "/api/components") => respond(m.components()),
+        ("GET", "/api/component") => with_name(req, |name| match m.component_state(name) {
+            Ok(Some(dto)) => ok_json(&dto),
+            Ok(None) => not_found(&format!("no component named {name}")),
+            Err(e) => query_error(&e),
+        }),
+        ("GET", "/api/buffers") => api_buffers(m, req),
+        ("GET", "/api/progress") => api_progress(m),
+        ("GET", "/api/resources") => ok_json(&m.resources()),
+        ("GET", "/api/analysis") => respond(m.analysis()),
+        ("GET", "/api/profile") => {
+            let top = req
+                .query_param("top")
+                .and_then(|t| t.parse().ok())
+                .unwrap_or(15);
+            respond(m.profile(top))
+        }
+        ("POST", "/api/profile/enable") => match req.json_body::<EnableBody>() {
+            Ok(body) => match m.set_profiling(body.enabled) {
+                Ok(()) => ok_json(&json!({ "ok": true, "enabled": (body.enabled) })),
+                Err(e) => query_error(&e),
+            },
+            Err(e) => bad_request(&e),
+        },
+        ("POST", "/api/pause") => {
+            m.pause();
+            ok_json(&json!({ "ok": true }))
+        }
+        ("POST", "/api/continue") => {
+            m.resume();
+            ok_json(&json!({ "ok": true }))
+        }
+        ("POST", "/api/kickstart") => match m.kick_start() {
+            Ok(woken) => ok_json(&json!({ "ok": true, "woken": woken })),
+            Err(e) => query_error(&e),
+        },
+        ("POST", "/api/terminate") => match m.terminate() {
+            Ok(()) => ok_json(&json!({ "ok": true })),
+            Err(e) => query_error(&e),
+        },
+        ("POST", "/api/tick") => with_name(req, |name| match m.tick_component(name) {
+            Ok(true) => ok_json(&json!({ "ok": true })),
+            Ok(false) => not_found(&format!("no component named {name}")),
+            Err(e) => query_error(&e),
+        }),
+        ("GET", "/api/topology") => respond(m.topology()),
+        ("GET", "/api/trace") => {
+            let n = req
+                .query_param("n")
+                .and_then(|t| t.parse().ok())
+                .unwrap_or(200);
+            respond(m.trace(n))
+        }
+        ("POST", "/api/trace/enable") => match req.json_body::<EnableBody>() {
+            Ok(body) => match m.set_tracing(body.enabled) {
+                Ok(()) => ok_json(&json!({ "ok": true, "enabled": (body.enabled) })),
+                Err(e) => query_error(&e),
+            },
+            Err(e) => bad_request(&e),
+        },
+        ("POST", "/api/schedule") => with_name(req, |name| {
+            let Some(code) = req.query_param("code").and_then(|c| c.parse().ok()) else {
+                return bad_request("missing or invalid `code` query parameter");
+            };
+            match m.schedule_custom(name, code) {
+                Ok(true) => ok_json(&json!({ "ok": true })),
+                Ok(false) => not_found(&format!("no component named {name}")),
+                Err(e) => query_error(&e),
+            }
+        }),
+        ("POST", "/api/alert") => match req.json_body::<AlertRule>() {
+            Ok(rule) => ok_json(&json!({ "id": (m.add_alert(rule)) })),
+            Err(e) => bad_request(&e),
+        },
+        ("GET", "/api/alerts") => ok_json(&m.alerts()),
+        ("POST", "/api/watch") => match req.json_body::<WatchRequest>() {
+            Ok(body) => ok_json(&json!({ "id": (m.watch(&body.component, &body.field)) })),
+            Err(e) => bad_request(&e),
+        },
+        ("GET", "/api/watches") => ok_json(&m.all_series()),
+        ("DELETE", path) if path.starts_with("/api/alert/") => {
+            match path["/api/alert/".len()..].parse::<u64>() {
+                Ok(id) if m.remove_alert(AlertId(id)) => ok_json(&json!({ "ok": true })),
+                Ok(id) => not_found(&format!("no alert {id}")),
+                Err(_) => bad_request("alert id must be an integer"),
+            }
+        }
+        ("GET", path) if path.starts_with("/api/watch/") => {
+            match path["/api/watch/".len()..].parse::<u64>() {
+                Ok(id) => match m.series(WatchId(id)) {
+                    Some(series) => ok_json(&series),
+                    None => not_found(&format!("no watch {id}")),
+                },
+                Err(_) => bad_request("watch id must be an integer"),
+            }
+        }
+        ("DELETE", path) if path.starts_with("/api/watch/") => {
+            match path["/api/watch/".len()..].parse::<u64>() {
+                Ok(id) if m.unwatch(WatchId(id)) => ok_json(&json!({ "ok": true })),
+                Ok(id) => not_found(&format!("no watch {id}")),
+                Err(_) => bad_request("watch id must be an integer"),
+            }
+        }
+        (_, path) => not_found(&format!("no route for {path}")),
     }
-}
-
-async fn api_alert_create(State(m): State<Shared>, Json(rule): Json<AlertRule>) -> Response {
-    let id = m.add_alert(rule);
-    Json(json!({ "id": id })).into_response()
-}
-
-async fn api_alerts(State(m): State<Shared>) -> Json<serde_json::Value> {
-    Json(json!(m.alerts()))
-}
-
-async fn api_alert_delete(State(m): State<Shared>, Path(id): Path<u64>) -> Response {
-    if m.remove_alert(AlertId(id)) {
-        Json(json!({ "ok": true })).into_response()
-    } else {
-        (
-            StatusCode::NOT_FOUND,
-            Json(json!({ "error": format!("no alert {id}") })),
-        )
-            .into_response()
-    }
-}
-
-/// Builds the router; exposed for in-process testing.
-pub fn router(monitor: Shared) -> Router {
-    Router::new()
-        .route("/", get(index))
-        .route("/api/now", get(api_now))
-        .route("/api/status", get(api_status))
-        .route("/api/components", get(api_components))
-        .route("/api/component", get(api_component))
-        .route("/api/buffers", get(api_buffers))
-        .route("/api/progress", get(api_progress))
-        .route("/api/resources", get(api_resources))
-        .route("/api/profile", get(api_profile))
-        .route("/api/profile/enable", post(api_profile_enable))
-        .route("/api/pause", post(api_pause))
-        .route("/api/continue", post(api_continue))
-        .route("/api/kickstart", post(api_kickstart))
-        .route("/api/terminate", post(api_terminate))
-        .route("/api/tick", post(api_tick))
-        .route("/api/topology", get(api_topology))
-        .route("/api/trace", get(api_trace))
-        .route("/api/trace/enable", post(api_trace_enable))
-        .route("/api/schedule", post(api_schedule))
-        .route("/api/alert", post(api_alert_create))
-        .route("/api/alerts", get(api_alerts))
-        .route("/api/alert/{id}", delete(api_alert_delete))
-        .route("/api/watch", post(api_watch_create))
-        .route("/api/watches", get(api_watches))
-        .route("/api/watch/{id}", get(api_watch_get))
-        .route("/api/watch/{id}", delete(api_watch_delete))
-        .with_state(monitor)
 }
 
 /// A running monitoring web server.
@@ -362,47 +255,19 @@ pub fn router(monitor: Shared) -> Router {
 /// gracefully.
 #[derive(Debug)]
 pub struct RtmServer {
-    addr: SocketAddr,
-    shutdown: Option<tokio::sync::oneshot::Sender<()>>,
-    thread: Option<JoinHandle<()>>,
+    inner: HttpServer,
 }
 
 impl RtmServer {
     /// Starts the backend on `addr` (use port 0 for an ephemeral port) on
-    /// its own thread with its own single-threaded tokio runtime.
+    /// its own acceptor thread.
     ///
     /// # Errors
     ///
     /// Returns the bind error when the address is unavailable.
     pub fn start(monitor: Arc<Monitor>, addr: SocketAddr) -> std::io::Result<RtmServer> {
-        let listener = std::net::TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local = listener.local_addr()?;
-        let (tx, rx) = tokio::sync::oneshot::channel::<()>();
-        let thread = std::thread::Builder::new()
-            .name("rtm-server".into())
-            .spawn(move || {
-                let rt = tokio::runtime::Builder::new_current_thread()
-                    .enable_all()
-                    .build()
-                    .expect("build tokio runtime");
-                rt.block_on(async move {
-                    let listener = tokio::net::TcpListener::from_std(listener)
-                        .expect("adopt std listener");
-                    let app = router(monitor);
-                    axum::serve(listener, app)
-                        .with_graceful_shutdown(async {
-                            let _ = rx.await;
-                        })
-                        .await
-                        .expect("serve");
-                });
-            })?;
-        Ok(RtmServer {
-            addr: local,
-            shutdown: Some(tx),
-            thread: Some(thread),
-        })
+        let inner = HttpServer::serve(addr, move |req| route(&monitor, req))?;
+        Ok(RtmServer { inner })
     }
 
     /// Starts on `127.0.0.1` with an ephemeral port.
@@ -416,32 +281,23 @@ impl RtmServer {
 
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 
     /// The URL to show the user ("a URL is displayed on the terminal,
     /// enabling users to easily access the server").
     pub fn url(&self) -> String {
-        format!("http://{}/", self.addr)
+        format!("http://{}/", self.inner.addr())
     }
 
-    /// Shuts the server down and waits for the thread to exit.
+    /// Shuts the server down and waits for the acceptor to exit.
     pub fn stop(mut self) {
-        self.stop_inner();
-    }
-
-    fn stop_inner(&mut self) {
-        if let Some(tx) = self.shutdown.take() {
-            let _ = tx.send(());
-        }
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+        self.inner.stop();
     }
 }
 
 impl Drop for RtmServer {
     fn drop(&mut self) {
-        self.stop_inner();
+        self.inner.stop();
     }
 }

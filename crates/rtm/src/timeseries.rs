@@ -75,7 +75,7 @@ impl ValueMonitor {
         let id = WatchId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
         self.watches
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(
                 id,
                 WatchState {
@@ -91,14 +91,17 @@ impl ValueMonitor {
     pub fn unwatch(&self, id: WatchId) -> bool {
         self.watches
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .remove(&id)
             .is_some()
     }
 
     /// Active watch count.
     pub fn len(&self) -> usize {
-        self.watches.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.watches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Whether no watches are active.
@@ -109,7 +112,10 @@ impl ValueMonitor {
     /// Records one point for `id` directly (used by tests and by callers
     /// that sample on their own schedule).
     pub fn record(&self, id: WatchId, sim_time: VTime, value: f64) {
-        let mut watches = self.watches.lock().unwrap_or_else(|e| e.into_inner());
+        let mut watches = self
+            .watches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(w) = watches.get_mut(&id) {
             if w.ring.len() >= MAX_POINTS {
                 w.ring.pop_front();
@@ -123,7 +129,10 @@ impl ValueMonitor {
     pub fn sample_all(&self, client: &QueryClient) -> usize {
         // Snapshot the target list without holding the lock across queries.
         let targets: Vec<(WatchId, String, String)> = {
-            let watches = self.watches.lock().unwrap_or_else(|e| e.into_inner());
+            let watches = self
+                .watches
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             watches
                 .iter()
                 .map(|(id, w)| (*id, w.component.clone(), w.field.clone()))
@@ -144,7 +153,10 @@ impl ValueMonitor {
 
     /// The current series of watch `id`.
     pub fn series(&self, id: WatchId) -> Option<Series> {
-        let watches = self.watches.lock().unwrap_or_else(|e| e.into_inner());
+        let watches = self
+            .watches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         watches.get(&id).map(|w| Series {
             id,
             component: w.component.clone(),
@@ -155,7 +167,10 @@ impl ValueMonitor {
 
     /// All current series.
     pub fn all_series(&self) -> Vec<Series> {
-        let watches = self.watches.lock().unwrap_or_else(|e| e.into_inner());
+        let watches = self
+            .watches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out: Vec<Series> = watches
             .iter()
             .map(|(id, w)| Series {

@@ -60,7 +60,7 @@ fn wait_for_state(addr: SocketAddr, state: &str, timeout: Duration) -> bool {
     let start = Instant::now();
     while start.elapsed() < timeout {
         if let Ok(r) = client::get(addr, "/api/now") {
-            if r.json().map(|j| j["state"] == state).unwrap_or(false) {
+            if r.json().is_ok_and(|j| j["state"] == state) {
                 return true;
             }
         }
@@ -86,7 +86,10 @@ fn dashboard_and_core_endpoints_serve_a_live_simulation() {
     assert!(index.body.contains("AkitaRTM"));
 
     // Heartbeat.
-    let now = client::get(rig.addr, "/api/now").expect("now").json().unwrap();
+    let now = client::get(rig.addr, "/api/now")
+        .expect("now")
+        .json()
+        .unwrap();
     assert!(now["now_ps"].is_u64());
 
     // Engine status.
@@ -112,11 +115,8 @@ fn dashboard_and_core_endpoints_serve_a_live_simulation() {
 
     // One component's state (fine-grained serialization).
     let rob = names.iter().find(|n| n.contains("L1VROB")).unwrap();
-    let detail = client::get(
-        rig.addr,
-        &format!("/api/component?name={}", urlencode(rob)),
-    )
-    .expect("component");
+    let detail = client::get(rig.addr, &format!("/api/component?name={}", urlencode(rob)))
+        .expect("component");
     assert!(detail.is_ok(), "component: {}", detail.body);
     let detail = detail.json().unwrap();
     assert_eq!(detail["kind"], "ReorderBuffer");
@@ -139,7 +139,10 @@ fn dashboard_and_core_endpoints_serve_a_live_simulation() {
     assert!(!rows.is_empty());
     assert!(rows.len() <= 10);
     // Sorted by percent, descending.
-    let percents: Vec<f64> = rows.iter().map(|r| r["percent"].as_f64().unwrap()).collect();
+    let percents: Vec<f64> = rows
+        .iter()
+        .map(|r| r["percent"].as_f64().unwrap())
+        .collect();
     assert!(percents.windows(2).all(|w| w[0] >= w[1]));
 
     // Progress bars (memcpy + kernel).
@@ -155,6 +158,20 @@ fn dashboard_and_core_endpoints_serve_a_live_simulation() {
         .json()
         .unwrap();
     assert!(res["supported"].is_boolean());
+
+    // Static analysis: the healthy machine has no error-level findings
+    // and is not deadlocked.
+    let analysis = client::get(rig.addr, "/api/analysis").expect("analysis");
+    assert!(analysis.is_ok(), "analysis: {}", analysis.body);
+    let analysis = analysis.json().unwrap();
+    assert!(analysis["components"].as_u64().unwrap() > 10);
+    assert!(analysis["findings"].is_array());
+    assert!(!analysis["findings"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|f| f["severity"] == "error"));
+    assert_eq!(analysis["deadlock"]["quiesced"], false);
 
     let summary = terminate(rig);
     assert!(summary.events > 0);
@@ -191,7 +208,10 @@ fn pause_and_continue_over_http() {
 fn watches_collect_time_series_over_http() {
     let rig = launch(400_000, None);
     // Find an L1 cache to watch.
-    let comps = client::get(rig.addr, "/api/components").unwrap().json().unwrap();
+    let comps = client::get(rig.addr, "/api/components")
+        .unwrap()
+        .json()
+        .unwrap();
     let l1 = comps
         .as_array()
         .unwrap()
@@ -220,11 +240,18 @@ fn watches_collect_time_series_over_http() {
     );
 
     // All watches listing includes it; deletion works; double delete 404s.
-    let all = client::get(rig.addr, "/api/watches").unwrap().json().unwrap();
+    let all = client::get(rig.addr, "/api/watches")
+        .unwrap()
+        .json()
+        .unwrap();
     assert_eq!(all.as_array().unwrap().len(), 1);
-    assert!(client::delete(rig.addr, &format!("/api/watch/{id}")).unwrap().is_ok());
+    assert!(client::delete(rig.addr, &format!("/api/watch/{id}"))
+        .unwrap()
+        .is_ok());
     assert_eq!(
-        client::delete(rig.addr, &format!("/api/watch/{id}")).unwrap().status,
+        client::delete(rig.addr, &format!("/api/watch/{id}"))
+            .unwrap()
+            .status,
         404
     );
     terminate(rig);
@@ -242,8 +269,12 @@ fn profiling_toggles_and_reports_over_http() {
     let nodes = report["nodes"].as_array().unwrap();
     assert!(!nodes.is_empty(), "profiler collected nothing");
     assert!(nodes.len() <= 10);
-    client::post(rig.addr, "/api/profile/enable", Some(r#"{"enabled":false}"#))
-        .expect("disable profiling");
+    client::post(
+        rig.addr,
+        "/api/profile/enable",
+        Some(r#"{"enabled":false}"#),
+    )
+    .expect("disable profiling");
     terminate(rig);
     akita::profile::set_enabled(false);
 }
@@ -268,7 +299,10 @@ fn hang_is_observable_and_probeable_over_http_like_case_study_2() {
     );
 
     // Progress bar is stuck short of completion.
-    let progress = client::get(rig.addr, "/api/progress").unwrap().json().unwrap();
+    let progress = client::get(rig.addr, "/api/progress")
+        .unwrap()
+        .json()
+        .unwrap();
     let kernel_bar = progress
         .as_array()
         .unwrap()
@@ -312,6 +346,30 @@ fn hang_is_observable_and_probeable_over_http_like_case_study_2() {
         wedged_bank0 || wedged_bank1,
         "at least one L2 bank must be wedged: {l2_state} {l2_state1}"
     );
+
+    // The analyzer names the deadlock over HTTP: quiesced with work in
+    // flight, a blocked cycle involving the L2, and the wedged suspect.
+    let analysis = client::get(rig.addr, "/api/analysis")
+        .unwrap()
+        .json()
+        .unwrap();
+    let deadlock = &analysis["deadlock"];
+    assert_eq!(deadlock["quiesced"], true, "analysis: {analysis}");
+    assert!(deadlock["in_flight"].as_u64().unwrap() > 0);
+    assert!(deadlock["cycles"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|cycle| cycle
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|m| m.as_str().unwrap().contains("L2["))));
+    assert!(deadlock["suspects"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|s| s["reason"].as_str().unwrap().contains("wedged")));
 
     // Tick a hung component and kick-start everything: the sim re-runs its
     // ticks and quiesces again (a code bug cannot be ticked away).
@@ -365,17 +423,30 @@ fn trace_ring_collects_recent_events_over_http() {
 
     client::post(rig.addr, "/api/trace/enable", Some(r#"{"enabled":true}"#)).expect("enable");
     thread::sleep(Duration::from_millis(100));
-    let trace = client::get(rig.addr, "/api/trace?n=50").unwrap().json().unwrap();
+    let trace = client::get(rig.addr, "/api/trace?n=50")
+        .unwrap()
+        .json()
+        .unwrap();
     let records = trace.as_array().unwrap();
     assert!(!records.is_empty(), "tracing must capture events");
     assert!(records.len() <= 50);
     // Records carry time + component + kind, and times are monotonic.
-    let times: Vec<u64> = records.iter().map(|r| r["time"].as_u64().unwrap()).collect();
+    let times: Vec<u64> = records
+        .iter()
+        .map(|r| r["time"].as_u64().unwrap())
+        .collect();
     assert!(times.windows(2).all(|w| w[0] <= w[1]));
     assert!(records[0]["component"].is_string());
     client::post(rig.addr, "/api/trace/enable", Some(r#"{"enabled":false}"#)).expect("disable");
-    let cleared = client::get(rig.addr, "/api/trace?n=50").unwrap().json().unwrap();
-    assert_eq!(cleared.as_array().unwrap().len(), 0, "disable clears the ring");
+    let cleared = client::get(rig.addr, "/api/trace?n=50")
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(
+        cleared.as_array().unwrap().len(),
+        0,
+        "disable clears the ring"
+    );
     terminate(rig);
 }
 
@@ -384,7 +455,10 @@ fn alert_auto_pauses_a_problematic_simulation() {
     // The paper's "fail early, fail fast", automated: pause the moment an
     // L1's in-flight transactions ever reach its MSHR capacity.
     let rig = launch(600_000, None);
-    let comps = client::get(rig.addr, "/api/components").unwrap().json().unwrap();
+    let comps = client::get(rig.addr, "/api/components")
+        .unwrap()
+        .json()
+        .unwrap();
     let l1 = comps
         .as_array()
         .unwrap()
@@ -405,7 +479,10 @@ fn alert_auto_pauses_a_problematic_simulation() {
         wait_for_state(rig.addr, "Paused", Duration::from_secs(30)),
         "alert must pause the simulation"
     );
-    let alerts = client::get(rig.addr, "/api/alerts").unwrap().json().unwrap();
+    let alerts = client::get(rig.addr, "/api/alerts")
+        .unwrap()
+        .json()
+        .unwrap();
     let status = &alerts.as_array().unwrap()[0];
     assert_eq!(status["id"].as_u64().unwrap(), id);
     let fired = &status["fired"];
@@ -416,9 +493,13 @@ fn alert_auto_pauses_a_problematic_simulation() {
     // The architect inspects the frozen crime scene, then resumes.
     assert!(client::get(rig.addr, "/api/buffers?top=5").unwrap().is_ok());
     client::post(rig.addr, "/api/continue", None).expect("continue");
-    assert!(client::delete(rig.addr, &format!("/api/alert/{id}")).unwrap().is_ok());
+    assert!(client::delete(rig.addr, &format!("/api/alert/{id}"))
+        .unwrap()
+        .is_ok());
     assert_eq!(
-        client::delete(rig.addr, &format!("/api/alert/{id}")).unwrap().status,
+        client::delete(rig.addr, &format!("/api/alert/{id}"))
+            .unwrap()
+            .status,
         404
     );
     terminate(rig);

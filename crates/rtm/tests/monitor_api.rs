@@ -44,11 +44,7 @@ fn launch() -> (Arc<Monitor>, thread::JoinHandle<()>) {
             n: 0,
         });
         sim.wake_at(id, VTime::ZERO);
-        let monitor = Arc::new(Monitor::attach(
-            &sim,
-            progress,
-            Duration::from_millis(5),
-        ));
+        let monitor = Arc::new(Monitor::attach(&sim, progress, Duration::from_millis(5)));
         tx.send(Arc::clone(&monitor)).expect("hand monitor back");
         sim.run();
     });
@@ -131,7 +127,9 @@ fn pause_resume_via_monitor() {
 fn buffers_empty_sim_yields_empty_table() {
     let (monitor, handle) = launch();
     // The counter sim registers no ports/buffers.
-    let buffers = monitor.buffers(BufferSort::Percent, Some(10)).expect("buffers");
+    let buffers = monitor
+        .buffers(BufferSort::Percent, Some(10))
+        .expect("buffers");
     assert!(buffers.is_empty());
     monitor.client().request_stop();
     handle.join().unwrap();

@@ -1,0 +1,780 @@
+//! Derive macros for the in-tree serde shim.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! shim's `Value` pivot without depending on `syn`/`quote` (unavailable in
+//! this offline build): the input `TokenStream` is parsed directly and the
+//! generated impl is assembled as source text.
+//!
+//! Supported shapes (the closed set used by this workspace):
+//! - named-field structs, tuple structs (newtypes serialize transparently),
+//!   unit structs;
+//! - enums with unit / newtype / tuple / struct variants, externally tagged
+//!   by default or adjacently tagged via `#[serde(tag, content)]`;
+//! - `#[serde(default)]` at container and field level, `#[serde(transparent)]`,
+//!   `#[serde(rename_all = "lowercase")]`.
+//!
+//! Anything else (generics, other attributes) is rejected with a
+//! `compile_error!` so unsupported uses fail loudly instead of silently
+//! misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// Derives the shim `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(&input, Mode::Ser)
+}
+
+/// Derives the shim `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(&input, Mode::De)
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Ser,
+    De,
+}
+
+fn expand(input: &TokenStream, mode: Mode) -> TokenStream {
+    let container = match parse_container(input.clone()) {
+        Ok(c) => c,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match mode {
+        Mode::Ser => gen_ser(&container),
+        Mode::De => gen_de(&container),
+    };
+    code.parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde_derive generated invalid Rust: {e}")))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error! literal")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Attrs {
+    default: bool,
+    transparent: bool,
+    rename_lower: bool,
+    tag: Option<String>,
+    content: Option<String>,
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Data {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    attrs: Attrs,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_container(input: TokenStream) -> Result<Container, String> {
+    let mut iter: Iter = input.into_iter().peekable();
+    let mut attrs = Attrs::default();
+    let mut kind: Option<&'static str> = None;
+
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                parse_attr(&mut iter, |item| apply_attr(&mut attrs, item))?;
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => skip_visibility(&mut iter),
+                    "struct" => {
+                        kind = Some("struct");
+                        break;
+                    }
+                    "enum" => {
+                        kind = Some("enum");
+                        break;
+                    }
+                    _ => return Err(format!("serde_derive: unexpected token `{s}`")),
+                }
+            }
+            other => {
+                return Err(format!("serde_derive: unexpected token `{other}`"));
+            }
+        }
+    }
+
+    let kind = kind.ok_or("serde_derive: no struct/enum found")?;
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive: generic type `{name}` is not supported by the shim"
+            ));
+        }
+    }
+
+    let data = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Data::Named(parse_named_fields(g.stream())?)
+            } else {
+                Data::Enum(parse_variants(g.stream())?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind == "enum" {
+                return Err("serde_derive: malformed enum".into());
+            }
+            Data::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Unit,
+        other => return Err(format!("serde_derive: unexpected body {other:?}")),
+    };
+
+    Ok(Container { name, attrs, data })
+}
+
+fn apply_attr(attrs: &mut Attrs, item: AttrItem) -> Result<(), String> {
+    match (item.key.as_str(), item.value) {
+        ("default", None) => attrs.default = true,
+        ("transparent", None) => attrs.transparent = true,
+        ("rename_all", Some(v)) if v == "lowercase" => attrs.rename_lower = true,
+        ("tag", Some(v)) => attrs.tag = Some(v),
+        ("content", Some(v)) => attrs.content = Some(v),
+        ("deny_unknown_fields", None) => {}
+        (k, _) => {
+            return Err(format!(
+                "serde_derive: unsupported serde attribute `{k}` (shim supports default, \
+                 transparent, rename_all = \"lowercase\", tag, content)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+struct AttrItem {
+    key: String,
+    value: Option<String>,
+}
+
+/// Consumes the bracket group after a `#` and, when it is a `#[serde(...)]`
+/// attribute, feeds each comma-separated item to `apply`.
+fn parse_attr(
+    iter: &mut Iter,
+    mut apply: impl FnMut(AttrItem) -> Result<(), String>,
+) -> Result<(), String> {
+    let group = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+        other => return Err(format!("serde_derive: malformed attribute {other:?}")),
+    };
+    let mut inner = group.stream().into_iter().peekable();
+    let is_serde = matches!(inner.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return Ok(()); // doc comments, #[repr], etc.
+    }
+    inner.next();
+    let args = match inner.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        other => return Err(format!("serde_derive: malformed serde attribute {other:?}")),
+    };
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(tt) = args.next() {
+        let key = match tt {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde_derive: unexpected `{other}` in serde attr")),
+        };
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = args.peek() {
+            if p.as_char() == '=' {
+                args.next();
+                match args.next() {
+                    Some(TokenTree::Literal(lit)) => {
+                        value = Some(unquote(&lit.to_string()));
+                    }
+                    other => {
+                        return Err(format!("serde_derive: expected literal, got {other:?}"));
+                    }
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = args.peek() {
+            if p.as_char() == ',' {
+                args.next();
+            }
+        }
+        apply(AttrItem { key, value })?;
+    }
+    Ok(())
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Skips `(crate)` / `(super)` after `pub`.
+fn skip_visibility(iter: &mut Iter) {
+    if let Some(TokenTree::Group(g)) = iter.peek() {
+        if g.delimiter() == Delimiter::Parenthesis {
+            iter.next();
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut iter: Iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut default = false;
+        // Leading attributes (doc comments, #[serde(default)], ...).
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    parse_attr(&mut iter, |item| {
+                        if item.key == "default" && item.value.is_none() {
+                            default = true;
+                            Ok(())
+                        } else {
+                            Err(format!(
+                                "serde_derive: unsupported field attribute `{}`",
+                                item.key
+                            ))
+                        }
+                    })?;
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                skip_visibility(&mut iter);
+                match iter.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("serde_derive: expected field, got {other:?}")),
+                }
+            }
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("serde_derive: expected field, got `{other}`")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde_derive: expected `:`, got {other:?}")),
+        }
+        // Collect the type: everything up to a comma outside angle brackets.
+        let mut depth = 0i32;
+        let mut ty_tokens: Vec<TokenTree> = Vec::new();
+        while let Some(tt) = iter.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                _ => {}
+            }
+            ty_tokens.push(iter.next().expect("peeked"));
+        }
+        let ty = ty_tokens.into_iter().collect::<TokenStream>().to_string();
+        fields.push(Field { name, ty, default });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_token = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(ref p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(ref p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter: Iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        // Skip attributes and doc comments on the variant.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                parse_attr(&mut iter, |item| {
+                    Err(format!(
+                        "serde_derive: unsupported variant attribute `{}`",
+                        item.key
+                    ))
+                })?;
+            } else {
+                break;
+            }
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("serde_derive: expected variant, got `{other}`")),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                iter.next();
+                if arity == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(arity)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= 3`), then a trailing comma.
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '=' {
+                iter.next();
+                while let Some(tt) = iter.peek() {
+                    if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    iter.next();
+                }
+            }
+        }
+        match iter.next() {
+            None => {
+                variants.push(Variant { name, kind });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, kind });
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde_derive: unexpected `{other}` after variant {name}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn variant_wire_name(attrs: &Attrs, name: &str) -> String {
+    if attrs.rename_lower {
+        name.to_lowercase()
+    } else {
+        name.to_string()
+    }
+}
+
+fn impl_header(trait_name: &str, type_name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic, clippy::nursery, unused_variables)]\n\
+         impl ::serde::{trait_name} for {type_name} {{\n"
+    )
+}
+
+fn gen_ser(c: &Container) -> String {
+    let mut out = impl_header("Serialize", &c.name);
+    out.push_str("    fn serialize_value(&self) -> ::serde::Value {\n");
+    match &c.data {
+        Data::Named(fields) => {
+            if c.attrs.transparent {
+                let f = &fields[0].name;
+                let _ = writeln!(
+                    out,
+                    "        ::serde::Serialize::serialize_value(&self.{f})"
+                );
+            } else {
+                out.push_str("        ::serde::Value::Object(vec![\n");
+                for f in fields {
+                    let _ = writeln!(
+                        out,
+                        "            (\"{n}\".to_string(), ::serde::Serialize::serialize_value(&self.{n})),",
+                        n = f.name
+                    );
+                }
+                out.push_str("        ])\n");
+            }
+        }
+        Data::Tuple(1) => {
+            out.push_str("        ::serde::Serialize::serialize_value(&self.0)\n");
+        }
+        Data::Tuple(n) => {
+            out.push_str("        ::serde::Value::Array(vec![\n");
+            for i in 0..*n {
+                let _ = writeln!(
+                    out,
+                    "            ::serde::Serialize::serialize_value(&self.{i}),"
+                );
+            }
+            out.push_str("        ])\n");
+        }
+        Data::Unit => {
+            out.push_str("        ::serde::Value::Null\n");
+        }
+        Data::Enum(variants) => {
+            out.push_str("        match self {\n");
+            for v in variants {
+                out.push_str(&gen_ser_variant(c, v));
+            }
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+fn gen_ser_variant(c: &Container, v: &Variant) -> String {
+    let wire = variant_wire_name(&c.attrs, &v.name);
+    let vn = &v.name;
+    let tagged = c.attrs.tag.as_deref().map(|t| {
+        (
+            t.to_string(),
+            c.attrs
+                .content
+                .clone()
+                .unwrap_or_else(|| "content".to_string()),
+        )
+    });
+
+    // (pattern, optional content expression)
+    let (pattern, content): (String, Option<String>) = match &v.kind {
+        VariantKind::Unit => (format!("Self::{vn}"), None),
+        VariantKind::Newtype => (
+            format!("Self::{vn}(__f0)"),
+            Some("::serde::Serialize::serialize_value(__f0)".to_string()),
+        ),
+        VariantKind::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                .collect();
+            (
+                format!("Self::{vn}({})", binders.join(", ")),
+                Some(format!("::serde::Value::Array(vec![{}])", items.join(", "))),
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::serialize_value({n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            (
+                format!("Self::{vn} {{ {} }}", binders.join(", ")),
+                Some(format!(
+                    "::serde::Value::Object(vec![{}])",
+                    items.join(", ")
+                )),
+            )
+        }
+    };
+
+    let body = match (&tagged, &content) {
+        (None, None) => format!("::serde::Value::Str(\"{wire}\".to_string())"),
+        (None, Some(content)) => {
+            format!("::serde::Value::Object(vec![(\"{wire}\".to_string(), {content})])")
+        }
+        (Some((tag, _)), None) => format!(
+            "::serde::Value::Object(vec![(\"{tag}\".to_string(), \
+             ::serde::Value::Str(\"{wire}\".to_string()))])"
+        ),
+        (Some((tag, content_key)), Some(content)) => format!(
+            "::serde::Value::Object(vec![(\"{tag}\".to_string(), \
+             ::serde::Value::Str(\"{wire}\".to_string())), \
+             (\"{content_key}\".to_string(), {content})])"
+        ),
+    };
+    format!("            {pattern} => {body},\n")
+}
+
+/// The expression rebuilding one struct field from object body `obj_var`.
+fn field_expr(f: &Field, obj_var: &str, container_default: bool) -> String {
+    let n = &f.name;
+    let missing = if f.default {
+        format!("<{} as ::core::default::Default>::default()", f.ty)
+    } else if container_default {
+        format!("__dflt.{n}")
+    } else {
+        format!(
+            "::serde::Deserialize::deserialize_value(&::serde::Value::Null)\
+             .map_err(|_| ::serde::Error::missing_field(\"{n}\"))?"
+        )
+    };
+    format!(
+        "match ::serde::__private::get({obj_var}, \"{n}\") {{ \
+         Some(__f) => ::serde::Deserialize::deserialize_value(__f)\
+         .map_err(|__e| __e.in_field(\"{n}\"))?, \
+         None => {missing} }}"
+    )
+}
+
+fn gen_de(c: &Container) -> String {
+    let name = &c.name;
+    let mut out = impl_header("Deserialize", name);
+    out.push_str(
+        "    fn deserialize_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {\n",
+    );
+    match &c.data {
+        Data::Named(fields) => {
+            if c.attrs.transparent {
+                let f = &fields[0].name;
+                let _ = writeln!(
+                    out,
+                    "        Ok({name} {{ {f}: ::serde::Deserialize::deserialize_value(__v)? }})"
+                );
+            } else {
+                out.push_str(
+                    "        let __obj = __v.as_object()\
+                     .ok_or_else(|| ::serde::Error::invalid_type(\"object\", __v))?;\n",
+                );
+                if c.attrs.default {
+                    let _ = writeln!(
+                        out,
+                        "        let __dflt: {name} = ::core::default::Default::default();"
+                    );
+                }
+                let _ = writeln!(out, "        Ok({name} {{");
+                for f in fields {
+                    let _ = writeln!(
+                        out,
+                        "            {}: {},",
+                        f.name,
+                        field_expr(f, "__obj", c.attrs.default)
+                    );
+                }
+                out.push_str("        })\n");
+            }
+        }
+        Data::Tuple(1) => {
+            let _ = writeln!(
+                out,
+                "        Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+            );
+        }
+        Data::Tuple(n) => {
+            out.push_str(
+                "        let __a = __v.as_array()\
+                 .ok_or_else(|| ::serde::Error::invalid_type(\"array\", __v))?;\n",
+            );
+            let _ = writeln!(
+                out,
+                "        if __a.len() != {n} {{ return Err(::serde::Error::custom(\
+                 format!(\"expected {n} elements, found {{}}\", __a.len()))); }}"
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__a[{i}])?"))
+                .collect();
+            let _ = writeln!(out, "        Ok({name}({}))", items.join(", "));
+        }
+        Data::Unit => {
+            let _ = writeln!(out, "        Ok({name})");
+        }
+        Data::Enum(variants) => {
+            if c.attrs.tag.is_some() {
+                out.push_str(&gen_de_enum_tagged(c, variants));
+            } else {
+                out.push_str(&gen_de_enum_external(c, variants));
+            }
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+fn gen_de_variant_data(v: &Variant, inner: &str) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!("Ok(Self::{vn})"),
+        VariantKind::Newtype => {
+            format!("Ok(Self::{vn}(::serde::Deserialize::deserialize_value({inner})?))")
+        }
+        VariantKind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __a = {inner}.as_array()\
+                 .ok_or_else(|| ::serde::Error::invalid_type(\"array\", {inner}))?; \
+                 if __a.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong tuple variant arity\")); }} \
+                 Ok(Self::{vn}({items})) }}",
+                items = items.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let exprs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, field_expr(f, "__o2", false)))
+                .collect();
+            format!(
+                "{{ let __o2 = {inner}.as_object()\
+                 .ok_or_else(|| ::serde::Error::invalid_type(\"object\", {inner}))?; \
+                 Ok(Self::{vn} {{ {fields} }}) }}",
+                fields = exprs.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_de_enum_external(c: &Container, variants: &[Variant]) -> String {
+    let name = &c.name;
+    let mut out = String::new();
+    out.push_str("        match __v {\n");
+    out.push_str("            ::serde::Value::Str(__s) => match __s.as_str() {\n");
+    for v in variants {
+        if matches!(v.kind, VariantKind::Unit) {
+            let _ = writeln!(
+                out,
+                "                \"{}\" => Ok(Self::{}),",
+                variant_wire_name(&c.attrs, &v.name),
+                v.name
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "                __other => Err(::serde::Error::custom(format!(\
+         \"unknown variant `{{__other}}` of {name}\"))),"
+    );
+    out.push_str("            },\n");
+    out.push_str(
+        "            ::serde::Value::Object(__o) if __o.len() == 1 => {\n\
+         \x20               let (__k, _inner) = &__o[0];\n\
+         \x20               match __k.as_str() {\n",
+    );
+    for v in variants {
+        if !matches!(v.kind, VariantKind::Unit) {
+            let _ = writeln!(
+                out,
+                "                    \"{}\" => {},",
+                variant_wire_name(&c.attrs, &v.name),
+                gen_de_variant_data(v, "_inner")
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "                    __other => Err(::serde::Error::custom(format!(\
+         \"unknown variant `{{__other}}` of {name}\"))),"
+    );
+    out.push_str("                }\n            }\n");
+    let _ = writeln!(
+        out,
+        "            _ => Err(::serde::Error::invalid_type(\"{name} variant\", __v)),"
+    );
+    out.push_str("        }\n");
+    out
+}
+
+fn gen_de_enum_tagged(c: &Container, variants: &[Variant]) -> String {
+    let name = &c.name;
+    let tag = c.attrs.tag.as_deref().expect("tagged enum has tag");
+    let content = c.attrs.content.as_deref().unwrap_or("content");
+    let mut out = String::new();
+    out.push_str(
+        "        let __obj = __v.as_object()\
+         .ok_or_else(|| ::serde::Error::invalid_type(\"object\", __v))?;\n",
+    );
+    let _ = writeln!(
+        out,
+        "        let __tag = ::serde::__private::get(__obj, \"{tag}\")\
+         .and_then(::serde::Value::as_str)\
+         .ok_or_else(|| ::serde::Error::custom(\"missing `{tag}` tag\"))?;"
+    );
+    let _ = writeln!(
+        out,
+        "        let _content = ::serde::__private::get(__obj, \"{content}\");"
+    );
+    out.push_str("        match __tag {\n");
+    for v in variants {
+        let wire = variant_wire_name(&c.attrs, &v.name);
+        if matches!(v.kind, VariantKind::Unit) {
+            let _ = writeln!(out, "            \"{wire}\" => Ok(Self::{}),", v.name);
+        } else {
+            let _ = writeln!(
+                out,
+                "            \"{wire}\" => {{ let __c = _content\
+                 .ok_or_else(|| ::serde::Error::custom(\"missing `{content}` for {wire}\"))?; \
+                 {} }}",
+                gen_de_variant_data(v, "__c")
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "            __other => Err(::serde::Error::custom(format!(\
+         \"unknown variant `{{__other}}` of {name}\"))),"
+    );
+    out.push_str("        }\n");
+    out
+}

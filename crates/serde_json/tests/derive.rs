@@ -1,0 +1,179 @@
+//! Round-trip tests for the shim derive macros, covering every shape and
+//! `#[serde(...)]` attribute used across this workspace.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+struct Ps(u64);
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Plain {
+    name: String,
+    count: u32,
+    ratio: f64,
+    opt: Option<u64>,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct WithFieldDefault {
+    required: String,
+    #[serde(default)]
+    flag: bool,
+    #[serde(default)]
+    maybe: Option<String>,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+struct WithContainerDefault {
+    a: u32,
+    b: String,
+    t: Ps,
+}
+
+impl Default for WithContainerDefault {
+    fn default() -> Self {
+        WithContainerDefault {
+            a: 42,
+            b: "dflt".to_string(),
+            t: Ps(9),
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+enum Sort {
+    Size,
+    Percent,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+enum Kind {
+    Tick,
+    Custom(u64),
+    Pair(u32, u32),
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", content = "v")]
+enum Tagged {
+    Int(i64),
+    Size { len: usize, cap: Option<u64> },
+    List(Vec<Tagged>),
+    Map(Vec<(String, Tagged)>),
+    Empty,
+}
+
+fn round_trip<T>(v: &T) -> T
+where
+    T: serde::Serialize + serde::Deserialize,
+{
+    let text = serde_json::to_string(v).unwrap();
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("reparse `{text}`: {e}"))
+}
+
+#[test]
+fn transparent_newtype_is_bare_number() {
+    assert_eq!(serde_json::to_string(&Ps(5)).unwrap(), "5");
+    assert_eq!(round_trip(&Ps(u64::MAX)), Ps(u64::MAX));
+}
+
+#[test]
+fn plain_struct_round_trips() {
+    let v = Plain {
+        name: "x\"y".to_string(),
+        count: 3,
+        ratio: 0.5,
+        opt: None,
+    };
+    assert_eq!(round_trip(&v), v);
+    let with_some = Plain {
+        opt: Some(7),
+        ..round_trip(&v)
+    };
+    assert_eq!(round_trip(&with_some), with_some);
+}
+
+#[test]
+fn field_defaults_fill_missing_keys() {
+    let v: WithFieldDefault = serde_json::from_str(r#"{"required": "r"}"#).unwrap();
+    assert_eq!(
+        v,
+        WithFieldDefault {
+            required: "r".to_string(),
+            flag: false,
+            maybe: None,
+        }
+    );
+}
+
+#[test]
+fn missing_option_without_default_is_none() {
+    let v: Plain = serde_json::from_str(r#"{"name": "n", "count": 1, "ratio": 2.0}"#).unwrap();
+    assert_eq!(v.opt, None);
+}
+
+#[test]
+fn missing_required_field_errors() {
+    let r: Result<Plain, _> = serde_json::from_str(r#"{"name": "n"}"#);
+    let msg = r.unwrap_err().to_string();
+    assert!(msg.contains("count"), "error should name the field: {msg}");
+}
+
+#[test]
+fn container_default_fills_missing_keys() {
+    let v: WithContainerDefault = serde_json::from_str(r#"{"a": 1}"#).unwrap();
+    assert_eq!(
+        v,
+        WithContainerDefault {
+            a: 1,
+            b: "dflt".to_string(),
+            t: Ps(9),
+        }
+    );
+}
+
+#[test]
+fn rename_all_lowercase_round_trips() {
+    assert_eq!(
+        serde_json::to_string(&Sort::Percent).unwrap(),
+        r#""percent""#
+    );
+    assert_eq!(round_trip(&Sort::Size), Sort::Size);
+    let v: Sort = serde_json::from_str(r#""size""#).unwrap();
+    assert_eq!(v, Sort::Size);
+}
+
+#[test]
+fn externally_tagged_enum_round_trips() {
+    assert_eq!(serde_json::to_string(&Kind::Tick).unwrap(), r#""Tick""#);
+    assert_eq!(
+        serde_json::to_string(&Kind::Custom(3)).unwrap(),
+        r#"{"Custom":3}"#
+    );
+    for v in [Kind::Tick, Kind::Custom(9), Kind::Pair(1, 2)] {
+        assert_eq!(round_trip(&v), v);
+    }
+}
+
+#[test]
+fn adjacently_tagged_enum_round_trips() {
+    let v = Tagged::Size { len: 4, cap: None };
+    let json = serde_json::to_value(&v).unwrap();
+    assert_eq!(json["kind"], "Size");
+    assert_eq!(json["v"]["len"], 4);
+    for v in [
+        Tagged::Int(-5),
+        Tagged::Empty,
+        Tagged::Size {
+            len: 1,
+            cap: Some(2),
+        },
+        Tagged::List(vec![Tagged::Int(1), Tagged::Empty]),
+        Tagged::Map(vec![("k".to_string(), Tagged::Int(0))]),
+    ] {
+        assert_eq!(round_trip(&v), v);
+    }
+}

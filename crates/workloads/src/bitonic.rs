@@ -146,9 +146,10 @@ mod tests {
             data: 0,
         };
         let wg = p.workgroup(0);
-        let has_far = wg.wavefronts[0].insts.iter().any(
-            |i| matches!(i, Inst::Load(a, _) if *a >= 1024 * 4),
-        );
+        let has_far = wg.wavefronts[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Load(a, _) if *a >= 1024 * 4));
         assert!(has_far, "partner region must be j elements away");
     }
 }

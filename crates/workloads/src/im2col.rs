@@ -199,10 +199,7 @@ mod tests {
             input: 0,
             output: 0x100_0000,
         };
-        assert_eq!(
-            k.num_workgroups(),
-            (cfg.cols() + cfg.wg_cols - 1) / cfg.wg_cols
-        );
+        assert_eq!(k.num_workgroups(), cfg.cols().div_ceil(cfg.wg_cols));
         // The last workgroup still yields at least one wavefront.
         assert!(!k.workgroup(k.num_workgroups() - 1).wavefronts.is_empty());
     }

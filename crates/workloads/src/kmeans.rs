@@ -60,7 +60,11 @@ impl Kernel for KMeansKernel {
             let lanes = WAVEFRONT.min(self.cfg.points - p0);
             let mut insts = Vec::new();
             // Centroids are small and shared: one read, then cached.
-            load_region(&mut insts, self.centroids, self.cfg.clusters * self.cfg.dims * 4);
+            load_region(
+                &mut insts,
+                self.centroids,
+                self.cfg.clusters * self.cfg.dims * 4,
+            );
             // Column-major features: per dimension the wavefront reads a
             // contiguous span of point values (fully coalesced).
             for d in 0..self.cfg.dims {

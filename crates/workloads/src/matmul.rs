@@ -93,7 +93,9 @@ impl Workload for MatMul {
 
     fn enqueue(&self, driver: &mut Driver) {
         assert!(
-            self.m % TILE == 0 && self.n % TILE == 0 && self.k % TILE == 0,
+            self.m.is_multiple_of(TILE)
+                && self.n.is_multiple_of(TILE)
+                && self.k.is_multiple_of(TILE),
             "matrix dimensions must be multiples of {TILE}"
         );
         let a = driver.alloc(self.m * self.k * 4);

@@ -82,7 +82,7 @@ impl Workload for Transpose {
 
     fn enqueue(&self, driver: &mut Driver) {
         assert!(
-            self.rows % TILE == 0 && self.cols % TILE == 0,
+            self.rows.is_multiple_of(TILE) && self.cols.is_multiple_of(TILE),
             "dimensions must be multiples of {TILE}"
         );
         let bytes = self.rows * self.cols * 4;
@@ -114,10 +114,7 @@ mod tests {
 
     #[test]
     fn writes_land_in_the_transposed_tile() {
-        let cfg = Transpose {
-            rows: 32,
-            cols: 32,
-        };
+        let cfg = Transpose { rows: 32, cols: 32 };
         let k = TransposeKernel {
             cfg,
             input: 0,

@@ -63,11 +63,7 @@ mod tests {
         store_region(&mut insts, 256, 64);
         assert_eq!(
             insts,
-            vec![
-                Inst::Load(0, 64),
-                Inst::Load(64, 64),
-                Inst::Store(256, 64)
-            ]
+            vec![Inst::Load(0, 64), Inst::Load(64, 64), Inst::Store(256, 64)]
         );
     }
 }

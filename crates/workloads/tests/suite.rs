@@ -90,7 +90,10 @@ fn extended_suite_workloads_complete() {
     use akita_workloads::extended_suite;
     for w in extended_suite() {
         // Skip the six already covered by whole_suite_completes_on_one_chiplet.
-        if akita_workloads::suite().iter().any(|s| s.name() == w.name()) {
+        if akita_workloads::suite()
+            .iter()
+            .any(|s| s.name() == w.name())
+        {
             continue;
         }
         let (events, _) = run(&*w, 1);

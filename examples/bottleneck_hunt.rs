@@ -50,7 +50,10 @@ fn main() {
     });
     let server = rx.recv().expect("server");
     let addr = server.addr();
-    println!("im2col on a 4-chiplet MCM GPU — monitoring at {}\n", server.url());
+    println!(
+        "im2col on a 4-chiplet MCM GPU — monitoring at {}\n",
+        server.url()
+    );
 
     // Step 1: initial assessment — is the simulation healthy?
     println!("[assess] waiting for smooth progress…");
@@ -66,7 +69,9 @@ fn main() {
             .and_then(|b| b["finished"].as_u64())
         {
             if done > 8 && done > last_done {
-                println!("  progress bar moving ({done} workgroups done) — simulation is healthy\n");
+                println!(
+                    "  progress bar moving ({done} workgroups done) — simulation is healthy\n"
+                );
                 break;
             }
             last_done = done;
@@ -94,7 +99,9 @@ fn main() {
             println!("    {:<40} {}/{}", name, row["size"], row["capacity"]);
         }
     }
-    println!("  RDMA port buffers appeared {rdma_hits}x and L1VROB top ports {rob_hits}x at the top —");
+    println!(
+        "  RDMA port buffers appeared {rdma_hits}x and L1VROB top ports {rob_hits}x at the top —"
+    );
     println!("  being repeatedly placed at the top strongly suggests a bottleneck there.\n");
 
     // Step 3: flag values and compare components down the hierarchy.
@@ -112,7 +119,10 @@ fn main() {
     let series = client::get(addr, "/api/watches").unwrap().json().unwrap();
     for s in series.as_array().unwrap() {
         let points = s["points"].as_array().unwrap();
-        let values: Vec<f64> = points.iter().map(|p| p["value"].as_f64().unwrap()).collect();
+        let values: Vec<f64> = points
+            .iter()
+            .map(|p| p["value"].as_f64().unwrap())
+            .collect();
         let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
         let max = values.iter().cloned().fold(0.0, f64::max);
         println!(

@@ -115,10 +115,13 @@ fn main() {
     // Pinpoint: the L2's own fields confess.
     println!("[diagnose] L2 bank state:");
     for bank in 0..2 {
-        let dto = client::get(addr, &format!("/api/component?name=GPU%5B0%5D.L2%5B{bank}%5D"))
-            .unwrap()
-            .json()
-            .unwrap();
+        let dto = client::get(
+            addr,
+            &format!("/api/component?name=GPU%5B0%5D.L2%5B{bank}%5D"),
+        )
+        .unwrap()
+        .json()
+        .unwrap();
         let fields = dto["state"]["fields"].as_array().unwrap();
         let field = |n: &str| {
             fields

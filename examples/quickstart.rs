@@ -52,7 +52,10 @@ fn main() {
     };
 
     // 5. Report.
-    println!("simulation finished: {} events, {} of virtual time", summary.events, summary.end_time);
+    println!(
+        "simulation finished: {} events, {} of virtual time",
+        summary.events, summary.end_time
+    );
     for bar in platform.progress.snapshot() {
         println!(
             "  progress `{}`: {}/{} done",
@@ -61,9 +64,7 @@ fn main() {
     }
     let cu = &platform.chiplets[0].cus[0];
     let (insts, mem, wgs) = cu.borrow().stats();
-    println!(
-        "  CU[0]: {insts} instructions, {mem} memory accesses, {wgs} workgroups"
-    );
+    println!("  CU[0]: {insts} instructions, {mem} memory accesses, {wgs} workgroups");
     let (reads, writes) = platform.chiplets[0].dram.borrow().traffic();
     println!("  DRAM: {reads} line reads, {writes} line writes");
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: format, lint, test. Mirrors what reviewers run before
+# merging. Works fully offline — every dependency is vendored in-tree, so
+# no step touches a registry (--offline keeps cargo from trying).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Some cargo versions reject --offline for fmt; it takes no deps anyway.
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> OK"

@@ -104,7 +104,8 @@ fn progress_bars_all_complete() {
         let p = run_suite_workload(&*w, 1);
         for bar in p.progress.snapshot() {
             assert_eq!(
-                bar.finished, bar.total,
+                bar.finished,
+                bar.total,
                 "{}: bar `{}` incomplete",
                 w.name(),
                 bar.name
@@ -124,7 +125,14 @@ fn four_chiplet_fir_moves_data_across_the_network() {
     let rdma_traffic: u64 = p
         .chiplets
         .iter()
-        .map(|c| c.rdma.as_ref().expect("multi-chiplet has RDMA").borrow().traffic().0)
+        .map(|c| {
+            c.rdma
+                .as_ref()
+                .expect("multi-chiplet has RDMA")
+                .borrow()
+                .traffic()
+                .0
+        })
         .sum();
     assert!(rdma_traffic > 0, "interleaved pages force remote accesses");
     // Every chiplet's DRAM serves some of the interleaved traffic.
@@ -160,22 +168,49 @@ fn simulations_are_deterministic() {
 
 mod config_fuzz {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(8))]
-        /// Any sane platform geometry builds, runs a small workload to
-        /// completion, and drains — wiring is correct for every shape,
-        /// not just the configs the experiments use.
-        #[test]
-        fn any_geometry_runs_to_completion(
-            chiplets in 1usize..4,
-            cus in 1usize..6,
-            cus_per_sa in 1usize..4,
-            banks in 1usize..4,
-            frontend in proptest::bool::ANY,
-            net_bw in prop::option::of(1_000_000_000u64..64_000_000_000),
-        ) {
+    /// Deterministic xorshift64* generator: randomized geometry coverage
+    /// without external crates, reproducing exactly across runs.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform-ish draw from `[lo, hi)`.
+        fn range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.next() % (hi - lo)
+        }
+    }
+
+    /// Any sane platform geometry builds, runs a small workload to
+    /// completion, and drains — wiring is correct for every shape,
+    /// not just the configs the experiments use.
+    #[test]
+    fn any_geometry_runs_to_completion() {
+        let mut rng = XorShift(0xA076_1D64_78BD_642F);
+        for case in 0..8 {
+            let chiplets = rng.range(1, 4) as usize;
+            let cus = rng.range(1, 6) as usize;
+            let cus_per_sa = rng.range(1, 4) as usize;
+            let banks = rng.range(1, 4) as usize;
+            let frontend = rng.next().is_multiple_of(2);
+            let net_bw = if rng.next().is_multiple_of(2) {
+                Some(rng.range(1_000_000_000, 64_000_000_000))
+            } else {
+                None
+            };
+            let shape = format!(
+                "case {case}: chiplets={chiplets} cus={cus} cus_per_sa={cus_per_sa} \
+                 banks={banks} frontend={frontend} net_bw={net_bw:?}"
+            );
+
             let mut gpu = GpuConfig::scaled(cus);
             gpu.cus_per_sa = cus_per_sa;
             gpu.num_l2_banks = banks;
@@ -190,15 +225,14 @@ mod config_fuzz {
                 num_samples: 2 * 1024,
                 ..Default::default()
             };
-            use akita_workloads::Workload;
             fir.enqueue(&mut p.driver.borrow_mut());
             p.start();
             let summary = p.sim.run();
-            prop_assert_eq!(summary.reason, akita::StopReason::Completed);
-            prop_assert!(p.driver.borrow().finished());
+            assert_eq!(summary.reason, akita::StopReason::Completed, "{shape}");
+            assert!(p.driver.borrow().finished(), "{shape}");
             for chiplet in &p.chiplets {
                 for rob in &chiplet.robs {
-                    prop_assert_eq!(rob.borrow().transactions(), 0);
+                    assert_eq!(rob.borrow().transactions(), 0, "{shape}");
                 }
             }
         }

@@ -39,7 +39,9 @@ fn component_names_are_unique_and_hierarchical() {
     assert_eq!(unique.len(), names.len(), "duplicate component names");
     // The paper's naming scheme, with chiplet/SA/slot indices.
     assert!(names.iter().any(|n| n.starts_with("GPU[0].SA[0].L1VROB[")));
-    assert!(names.iter().any(|n| n.starts_with("GPU[1].SA[0].L1VCache[")));
+    assert!(names
+        .iter()
+        .any(|n| n.starts_with("GPU[1].SA[0].L1VCache[")));
     assert!(names.contains(&"GPU[0].RDMA"));
     assert!(names.contains(&"Driver"));
 }
@@ -100,7 +102,13 @@ fn buffer_names_match_component_names() {
     );
     // All buffer snapshots respect size <= capacity.
     for b in &buffers {
-        assert!(b.size <= b.capacity, "{}: {}/{}", b.name, b.size, b.capacity);
+        assert!(
+            b.size <= b.capacity,
+            "{}: {}/{}",
+            b.name,
+            b.size,
+            b.capacity
+        );
         assert!((0.0..=1.0).contains(&b.percent()));
     }
 }
