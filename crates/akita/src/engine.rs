@@ -5,8 +5,30 @@
 //! (§VII): monitoring work happens *on demand only* (a query channel drained
 //! between events), serialization is *fine-grained* (one component or one
 //! buffer snapshot per request), and the monitor itself runs on a
-//! *dedicated thread* — only the cheap channel drain and two atomic stores
-//! touch the simulation thread.
+//! *dedicated thread* — the simulation thread pays only a couple of
+//! predictable branches per event.
+//!
+//! # Hot path (see DESIGN.md, "Engine hot path")
+//!
+//! Per dispatched event the seed engine paid a heap push/pop, a
+//! `HashSet<(ComponentId, VTime)>` insert+remove for tick dedup, an
+//! unconditional `try_recv` on the query channel, and two atomic stores.
+//! The current engine replaces all four on the common path:
+//!
+//! - same-cycle events ride the [`EventQueue`] ring lane (O(1), no heap
+//!   traffic);
+//! - tick dedup is an epoch-stamped per-component slot pair
+//!   ([`TickDedup`]) — O(1), no hashing;
+//! - the query channel is only drained when [`SimControl`]'s pending-query
+//!   counter (bumped by [`QueryClient`]) is non-zero;
+//! - the `now`/`events` atomics are published every
+//!   [`EngineTuning::publish_batch`] events, with an *exact* flush whenever
+//!   a query is served, the engine pauses/idles, or a run returns — so the
+//!   monitor never observes a stale count when it actually looks.
+//!
+//! Each optimization can be disabled via [`EngineTuning`] to recover the
+//! seed behaviour for ablation benchmarks, and the integration tests prove
+//! both configurations dispatch bit-identical event sequences.
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -31,6 +53,157 @@ use crate::query::{
 };
 use crate::queue::{EventKind, EventQueue};
 use crate::time::VTime;
+
+/// Hot-path tuning knobs for the engine loop.
+///
+/// The default ([`EngineTuning::fast`]) enables every fast path; the
+/// [`EngineTuning::seed`] preset reproduces the original engine's per-event
+/// costs (single-heap queue, hashing tick dedup, unconditional channel
+/// polling, per-event atomic publishes) for before/after measurement —
+/// `rtm-bench`'s `bench_engine` harness runs both and emits
+/// `BENCH_engine.json`. Every configuration dispatches the *same* event
+/// sequence; only constant factors differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineTuning {
+    /// Use the same-cycle ring lane in the event queue.
+    pub ring_lane: bool,
+    /// Use epoch-stamped per-component tick dedup instead of a `HashSet`.
+    pub epoch_dedup: bool,
+    /// Drain the query channel only when a query is actually pending.
+    pub demand_polling: bool,
+    /// Publish the `now`/`events` atomics every N events (min 1). Exact
+    /// flushes still happen on every query, pause, idle, and run return.
+    pub publish_batch: u64,
+}
+
+impl EngineTuning {
+    /// Every fast path on (the default).
+    pub const fn fast() -> Self {
+        EngineTuning {
+            ring_lane: true,
+            epoch_dedup: true,
+            demand_polling: true,
+            publish_batch: 1024,
+        }
+    }
+
+    /// The seed engine's per-event behaviour, for ablation baselines.
+    pub const fn seed() -> Self {
+        EngineTuning {
+            ring_lane: false,
+            epoch_dedup: false,
+            demand_polling: false,
+            publish_batch: 1,
+        }
+    }
+}
+
+impl Default for EngineTuning {
+    fn default() -> Self {
+        EngineTuning::fast()
+    }
+}
+
+/// Sentinel for an empty tick-dedup slot ([`VTime::MAX`] is reserved as an
+/// "infinitely far" marker and never a real tick time).
+const NO_TICK: u64 = u64::MAX;
+
+/// Bookkeeping that guarantees at most one queued `Tick` per
+/// `(component, time)` pair.
+///
+/// The `Epoch` representation stores, per component, the times of its
+/// pending ticks in two inline slots — the stamp *is* the scheduled time,
+/// so nothing needs clearing as the clock advances, and the common
+/// `{now, next-cycle}` pattern never hashes. A third concurrent pending
+/// time (rare: driver-style components scheduling far-future wakeups while
+/// active) spills into a small overflow set. `Hash` is the seed's exact
+/// representation, kept for the ablation benchmarks; both are exact, so
+/// the dispatched event sequence is identical either way.
+#[derive(Debug)]
+enum TickDedup {
+    Epoch {
+        slots: Vec<[u64; 2]>,
+        overflow: HashSet<(u32, u64)>,
+    },
+    Hash(HashSet<(ComponentId, VTime)>),
+}
+
+impl TickDedup {
+    fn epoch() -> Self {
+        TickDedup::Epoch {
+            slots: Vec::new(),
+            overflow: HashSet::new(),
+        }
+    }
+
+    fn hash() -> Self {
+        TickDedup::Hash(HashSet::new())
+    }
+
+    /// Records a pending tick; returns `false` when one is already queued
+    /// for this exact `(component, time)`.
+    #[inline]
+    fn insert(&mut self, component: ComponentId, t: VTime) -> bool {
+        match self {
+            TickDedup::Epoch { slots, overflow } => {
+                let i = component.index();
+                let t = t.ps();
+                debug_assert_ne!(t, NO_TICK, "VTime::MAX is not a schedulable tick time");
+                if i >= slots.len() {
+                    slots.resize(i + 1, [NO_TICK; 2]);
+                }
+                let s = &mut slots[i];
+                if s[0] == t || s[1] == t {
+                    return false;
+                }
+                if !overflow.is_empty() && overflow.contains(&(component.as_u32(), t)) {
+                    return false;
+                }
+                if s[0] == NO_TICK {
+                    s[0] = t;
+                    true
+                } else if s[1] == NO_TICK {
+                    s[1] = t;
+                    true
+                } else {
+                    overflow.insert((component.as_u32(), t))
+                }
+            }
+            TickDedup::Hash(set) => set.insert((component, t)),
+        }
+    }
+
+    /// Clears the pending record after the tick is dispatched.
+    #[inline]
+    fn remove(&mut self, component: ComponentId, t: VTime) {
+        match self {
+            TickDedup::Epoch { slots, overflow } => {
+                let i = component.index();
+                let t = t.ps();
+                if let Some(s) = slots.get_mut(i) {
+                    if s[0] == t {
+                        s[0] = NO_TICK;
+                        return;
+                    }
+                    if s[1] == t {
+                        s[1] = NO_TICK;
+                        return;
+                    }
+                }
+                if !overflow.is_empty() {
+                    overflow.remove(&(component.as_u32(), t));
+                }
+            }
+            TickDedup::Hash(set) => {
+                set.remove(&(component, t));
+            }
+        }
+    }
+
+    fn is_epoch(&self) -> bool {
+        matches!(self, TickDedup::Epoch { .. })
+    }
+}
 
 /// What the engine loop is currently doing, as published to the monitor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +242,10 @@ pub struct SimControl {
     state: AtomicU8,
     now_ps: AtomicU64,
     events: AtomicU64,
+    /// Queries sent by [`QueryClient`]s but not yet served. The run loop
+    /// skips the channel `try_recv` entirely while this is zero — the
+    /// "no monitor attached" fast path.
+    pending_queries: AtomicU64,
 }
 
 impl SimControl {
@@ -119,6 +296,20 @@ impl SimControl {
     fn set_state(&self, s: RunState) {
         self.state.store(s as u8, Ordering::Relaxed);
     }
+
+    /// A [`QueryClient`] is about to put a query on the channel.
+    pub(crate) fn note_query_sent(&self) {
+        self.pending_queries.fetch_add(1, Ordering::Release);
+    }
+
+    /// A query was served (or its send failed after being counted).
+    pub(crate) fn note_query_done(&self) {
+        self.pending_queries.fetch_sub(1, Ordering::Release);
+    }
+
+    fn has_pending_queries(&self) -> bool {
+        self.pending_queries.load(Ordering::Acquire) != 0
+    }
 }
 
 /// Scheduling context handed to components during [`Component::tick`].
@@ -163,7 +354,7 @@ pub(crate) struct Scheduler {
     queue: EventQueue,
     now: VTime,
     current: ComponentId,
-    pending_ticks: HashSet<(ComponentId, VTime)>,
+    pending_ticks: TickDedup,
 }
 
 impl Scheduler {
@@ -172,13 +363,13 @@ impl Scheduler {
             queue: EventQueue::new(),
             now: VTime::ZERO,
             current: ComponentId::from_index(0),
-            pending_ticks: HashSet::new(),
+            pending_ticks: TickDedup::epoch(),
         }
     }
 
     fn schedule_tick(&mut self, component: ComponentId, t: VTime) {
         let t = t.max(self.now);
-        if self.pending_ticks.insert((component, t)) {
+        if self.pending_ticks.insert(component, t) {
             self.queue.push(t, component, EventKind::Tick);
         }
     }
@@ -220,6 +411,12 @@ pub struct Simulation {
     query_rx: Receiver<SimQuery>,
     /// Events between query-channel polls (1 = poll every event).
     query_poll_interval: u64,
+    tuning: EngineTuning,
+    /// Exact events dispatched (engine-thread view; the atomic in `ctrl`
+    /// lags by at most `tuning.publish_batch` between exact flushes).
+    events_total: u64,
+    /// `events_total` at the last atomic flush.
+    events_published: u64,
     terminate_requested: bool,
     topology: Vec<TopologyEdge>,
     /// Registered connections by component id, for topology analysis.
@@ -250,6 +447,9 @@ impl Simulation {
             query_tx,
             query_rx,
             query_poll_interval: 1,
+            tuning: EngineTuning::fast(),
+            events_total: 0,
+            events_published: 0,
             terminate_requested: false,
             topology: Vec::new(),
             connections: std::collections::BTreeMap::new(),
@@ -262,11 +462,40 @@ impl Simulation {
 
     /// Sets how many events are dispatched between monitor-query polls.
     ///
-    /// The default of 1 matches the paper's design; larger values trade
-    /// monitor latency for (marginally) less per-event work and exist for
+    /// The default of 1 matches the paper's design; with demand polling
+    /// (see [`EngineTuning`]) each poll is a single relaxed atomic load
+    /// unless a query is actually waiting, so larger values exist only for
     /// the ablation benchmarks.
     pub fn set_query_poll_interval(&mut self, every_n_events: u64) {
         self.query_poll_interval = every_n_events.max(1);
+    }
+
+    /// Reconfigures the engine hot path (safe at any point; pending tick
+    /// bookkeeping is migrated when the dedup representation changes).
+    pub fn set_tuning(&mut self, tuning: EngineTuning) {
+        self.tuning = EngineTuning {
+            publish_batch: tuning.publish_batch.max(1),
+            ..tuning
+        };
+        self.sched.queue.set_ring_enabled(tuning.ring_lane);
+        if tuning.epoch_dedup != self.sched.pending_ticks.is_epoch() {
+            let mut fresh = if tuning.epoch_dedup {
+                TickDedup::epoch()
+            } else {
+                TickDedup::hash()
+            };
+            for ev in self.sched.queue.events() {
+                if ev.kind == EventKind::Tick {
+                    fresh.insert(ev.component, ev.time);
+                }
+            }
+            self.sched.pending_ticks = fresh;
+        }
+    }
+
+    /// The active hot-path configuration.
+    pub fn tuning(&self) -> EngineTuning {
+        self.tuning
     }
 
     /// Registers a component, assigning its [`ComponentId`].
@@ -400,11 +629,24 @@ impl Simulation {
         self.sched.queue.is_empty()
     }
 
+    /// Makes the lock-free monitor view (`now`, `events`) exact.
+    ///
+    /// Called every `publish_batch` events, and — so the monitor never
+    /// observes staleness when it actually looks — before every served
+    /// query, on pause/idle entry, and when a run returns.
+    fn flush_publish(&mut self) {
+        self.events_published = self.events_total;
+        self.ctrl.publish(self.sched.now);
+        self.ctrl.events.store(self.events_total, Ordering::Relaxed);
+    }
+
     fn dispatch(&mut self, ev: crate::queue::Ev) {
         self.sched.now = ev.time;
         self.sched.current = ev.component;
-        self.ctrl.publish(ev.time);
-        self.ctrl.events.fetch_add(1, Ordering::Relaxed);
+        self.events_total += 1;
+        if self.events_total - self.events_published >= self.tuning.publish_batch {
+            self.flush_publish();
+        }
         if self.trace_enabled {
             if self.trace.len() >= self.trace_cap {
                 self.trace.pop_front();
@@ -412,7 +654,7 @@ impl Simulation {
             self.trace.push_back((ev.time, ev.component, ev.kind));
         }
         if ev.kind == EventKind::Tick {
-            self.sched.pending_ticks.remove(&(ev.component, ev.time));
+            self.sched.pending_ticks.remove(ev.component, ev.time);
         }
         let comp_rc = Rc::clone(&self.components[ev.component.index()]);
         if !self.hooks.is_empty() {
@@ -447,10 +689,14 @@ impl Simulation {
     }
 
     /// Runs one event; returns `false` when the queue is empty.
+    ///
+    /// Single-stepping is a monitoring activity, so the lock-free view is
+    /// flushed exactly after each step.
     pub fn step(&mut self) -> bool {
         match self.sched.queue.pop() {
             Some(ev) => {
                 self.dispatch(ev);
+                self.flush_publish();
                 true
             }
             None => false,
@@ -483,8 +729,9 @@ impl Simulation {
     }
 
     fn run_inner(&mut self, deadline: Option<VTime>, interactive: bool) -> RunSummary {
-        let start_events = self.ctrl.events_handled();
+        let start_events = self.events_total;
         self.ctrl.set_state(RunState::Running);
+        self.flush_publish();
         self.terminate_requested = false;
         let mut since_poll = 0u64;
         let reason = loop {
@@ -498,12 +745,13 @@ impl Simulation {
             since_poll += 1;
             if since_poll >= self.query_poll_interval {
                 since_poll = 0;
-                self.drain_queries();
+                if !self.tuning.demand_polling || self.ctrl.has_pending_queries() {
+                    self.drain_queries();
+                }
             }
-            if let (Some(d), Some(t)) = (deadline, self.sched.queue.peek_time()) {
-                if t > d {
+            if let Some(d) = deadline {
+                if self.sched.queue.peek_time().is_some_and(|t| t > d) {
                     self.sched.now = d;
-                    self.ctrl.publish(d);
                     break StopReason::DeadlineReached;
                 }
             }
@@ -520,9 +768,15 @@ impl Simulation {
                 }
             }
         };
-        self.ctrl.set_state(RunState::Finished);
+        self.flush_publish();
+        // A deadline leaves the simulation resumable — report Idle, not
+        // Finished, so a monitor doesn't declare a live sim done.
+        self.ctrl.set_state(match reason {
+            StopReason::DeadlineReached => RunState::Idle,
+            StopReason::Completed | StopReason::Stopped => RunState::Finished,
+        });
         RunSummary {
-            events: self.ctrl.events_handled() - start_events,
+            events: self.events_total - start_events,
             end_time: self.sched.now,
             reason,
         }
@@ -530,6 +784,7 @@ impl Simulation {
 
     /// Serves queries while paused; returns when unpaused or stopping.
     fn paused_loop(&mut self) {
+        self.flush_publish();
         self.ctrl.set_state(RunState::Paused);
         while self.ctrl.is_paused() && !self.ctrl.stop_requested() && !self.terminate_requested {
             if let Ok(q) = self.query_rx.recv_timeout(Duration::from_millis(20)) {
@@ -542,6 +797,7 @@ impl Simulation {
     /// Serves queries while the queue is empty. Returns `true` when new
     /// events appeared (e.g. an injected tick) and the run should continue.
     fn idle_loop(&mut self) -> bool {
+        self.flush_publish();
         self.ctrl.set_state(RunState::Idle);
         loop {
             if self.ctrl.stop_requested() || self.terminate_requested {
@@ -565,12 +821,17 @@ impl Simulation {
     }
 
     fn serve_query(&mut self, q: SimQuery) {
+        // Exact view before any answer: flush the amortized publishes so
+        // the monitor's lock-free reads agree with the reply it receives,
+        // and retire the pending-query count this request contributed.
+        self.flush_publish();
+        self.ctrl.note_query_done();
         match q {
             SimQuery::Status(reply) => {
                 let _ = reply.send(EngineStatus {
                     now: self.sched.now,
                     state: self.ctrl.state(),
-                    events: self.ctrl.events_handled(),
+                    events: self.events_total,
                     queue_len: self.sched.queue.len(),
                     components: self.components.len(),
                     live_buffers: self.buffers.len(),
@@ -659,16 +920,24 @@ impl Simulation {
                 }
             }
             SimQuery::Trace(n, reply) => {
+                // Iterate the tail directly (no double reverse) and borrow
+                // each component's name once via a lookup table instead of
+                // once per record.
+                let start = self.trace.len().saturating_sub(n);
+                let mut names: Vec<Option<String>> = vec![None; self.components.len()];
                 let records: Vec<TraceRecord> = self
                     .trace
                     .iter()
-                    .rev()
-                    .take(n)
-                    .rev()
-                    .map(|&(time, comp, kind)| TraceRecord {
-                        time,
-                        component: self.components[comp.index()].borrow().name().to_owned(),
-                        kind,
+                    .skip(start)
+                    .map(|&(time, comp, kind)| {
+                        let name = names[comp.index()].get_or_insert_with(|| {
+                            self.components[comp.index()].borrow().name().to_owned()
+                        });
+                        TraceRecord {
+                            time,
+                            component: name.clone(),
+                            kind,
+                        }
                     })
                     .collect();
                 let _ = reply.send(records);

@@ -12,12 +12,22 @@ pub struct ComponentId(pub(crate) u32);
 
 impl ComponentId {
     /// The raw index.
+    #[inline]
     pub const fn index(self) -> usize {
         self.0 as usize
     }
 
+    /// The raw index as its stored width — used by dense, index-addressed
+    /// engine tables (e.g. the tick-dedup slots) that key on the id
+    /// without hashing the wider `usize`.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
     /// Builds an id from a raw index. Intended for tests and tooling; ids
     /// normally come from [`Simulation::register`](crate::Simulation::register).
+    #[inline]
     pub const fn from_index(i: usize) -> Self {
         ComponentId(i as u32)
     }

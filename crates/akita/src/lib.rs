@@ -65,7 +65,7 @@ pub use analysis::{
 pub use buffer::{Buffer, BufferRegistry, BufferSnapshot};
 pub use component::{CompBase, Component};
 pub use conn::{Connection, DirectConnection, LinkWait, SendError};
-pub use engine::{Ctx, RunState, RunSummary, SimControl, Simulation, StopReason};
+pub use engine::{Ctx, EngineTuning, RunState, RunSummary, SimControl, Simulation, StopReason};
 pub use hook::{EventCountHook, Hook};
 pub use ids::{ComponentId, MsgId, PortId};
 pub use msg::{downcast_msg, Msg, MsgExt, MsgMeta};

@@ -173,11 +173,19 @@ impl QueryClient {
         self
     }
 
+    /// Puts `q` on the engine channel, keeping the control block's
+    /// pending-query counter in sync so the run loop knows to drain.
+    fn send(&self, q: SimQuery) -> Result<(), QueryError> {
+        self.ctrl.note_query_sent();
+        self.tx.send(q).map_err(|_| {
+            self.ctrl.note_query_done();
+            QueryError::Disconnected
+        })
+    }
+
     fn request<T>(&self, make: impl FnOnce(Replier<T>) -> SimQuery) -> Result<T, QueryError> {
         let (rtx, rrx) = sync_channel(1);
-        self.tx
-            .send(make(rtx))
-            .map_err(|_| QueryError::Disconnected)?;
+        self.send(make(rtx))?;
         rrx.recv_timeout(self.timeout).map_err(|e| match e {
             std::sync::mpsc::RecvTimeoutError::Timeout => QueryError::Timeout,
             std::sync::mpsc::RecvTimeoutError::Disconnected => QueryError::Disconnected,
@@ -265,9 +273,7 @@ impl QueryClient {
     ///
     /// [`QueryError::Disconnected`] when the simulation is gone.
     pub fn set_profiling(&self, on: bool) -> Result<(), QueryError> {
-        self.tx
-            .send(SimQuery::SetProfiling(on))
-            .map_err(|_| QueryError::Disconnected)
+        self.send(SimQuery::SetProfiling(on))
     }
 
     /// Snapshot of the simulator profile.
@@ -285,9 +291,7 @@ impl QueryClient {
     ///
     /// [`QueryError::Disconnected`] when the simulation is gone.
     pub fn set_tracing(&self, on: bool) -> Result<(), QueryError> {
-        self.tx
-            .send(SimQuery::SetTracing(on))
-            .map_err(|_| QueryError::Disconnected)
+        self.send(SimQuery::SetTracing(on))
     }
 
     /// The most recent `n` dispatched events (empty unless tracing is on).
@@ -315,9 +319,7 @@ impl QueryClient {
     ///
     /// [`QueryError::Disconnected`] when the simulation is gone.
     pub fn terminate(&self) -> Result<(), QueryError> {
-        self.tx
-            .send(SimQuery::Terminate)
-            .map_err(|_| QueryError::Disconnected)
+        self.send(SimQuery::Terminate)
     }
 
     /// Requests a pause (lock-free; takes effect at the next event).

@@ -3,9 +3,29 @@
 //! A stable priority queue: events pop in time order, and events scheduled
 //! for the same time pop in the order they were scheduled (FIFO tie-break by
 //! sequence number). Stability keeps simulations deterministic.
+//!
+//! # Two lanes
+//!
+//! Cycle-level workloads schedule the overwhelming majority of events *at
+//! the current virtual time* (same-cycle wakes and ticks). A binary heap
+//! pays `O(log n)` sift traffic for every one of them, so the queue keeps
+//! two lanes:
+//!
+//! - a **ring lane** ([`VecDeque`]): events pushed at the lane's current
+//!   time. Sequence numbers are allocated monotonically, so appending keeps
+//!   the ring FIFO-sorted and push/pop are O(1) with no hashing or sifting;
+//! - a **heap lane** ([`BinaryHeap`]): events at any other time.
+//!
+//! [`EventQueue::pop`] takes the global `(time, seq)` minimum of the two
+//! lane heads, so the pop order is *bit-identical* to a single stable heap
+//! (the `proptests` module proves this differentially against a reference
+//! heap). When the ring drains, the next heap pop advances the lane to its
+//! time. The ring lane can be disabled with [`EventQueue::set_ring_enabled`]
+//! to recover the seed engine's single-heap behaviour for ablation
+//! benchmarks (`benches/event_queue.rs`).
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
@@ -47,55 +67,123 @@ impl PartialOrd for Ev {
     }
 }
 
-/// A stable min-priority queue of [`Ev`]s.
-#[derive(Debug, Default)]
+/// A stable min-priority queue of [`Ev`]s with a same-cycle fast path.
+#[derive(Debug)]
 pub struct EventQueue {
+    /// Same-cycle lane: events at `lane_time` pushed while that time was
+    /// current. Seqs are monotonic, so the ring is always FIFO-sorted.
+    ring: VecDeque<Ev>,
+    /// The virtual time the ring lane serves.
+    lane_time: VTime,
+    /// Future-time (and rare out-of-lane) events.
     heap: BinaryHeap<Reverse<Ev>>,
     next_seq: u64,
+    /// When false, every push goes through the heap (seed behaviour).
+    ring_enabled: bool,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            ring: VecDeque::new(),
+            lane_time: VTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            ring_enabled: true,
+        }
+    }
 }
 
 impl EventQueue {
-    /// Creates an empty queue.
+    /// Creates an empty queue (ring lane enabled).
     pub fn new() -> Self {
         EventQueue::default()
     }
 
+    /// Enables or disables the same-cycle ring lane. Disabling drains the
+    /// ring into the heap, restoring the single-level seed behaviour —
+    /// pop order is identical either way; only the constant factor changes.
+    pub fn set_ring_enabled(&mut self, on: bool) {
+        self.ring_enabled = on;
+        if !on {
+            for ev in self.ring.drain(..) {
+                self.heap.push(Reverse(ev));
+            }
+        }
+    }
+
     /// Schedules an event for `component` at `time`.
+    #[inline]
     pub fn push(&mut self, time: VTime, component: ComponentId, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Ev {
+        let ev = Ev {
             time,
             seq,
             component,
             kind,
-        }));
+        };
+        if self.ring_enabled && time == self.lane_time {
+            self.ring.push_back(ev);
+        } else {
+            self.heap.push(Reverse(ev));
+        }
     }
 
-    /// Removes and returns the earliest event.
+    /// Removes and returns the earliest event (smallest `(time, seq)`).
+    #[inline]
     pub fn pop(&mut self) -> Option<Ev> {
-        self.heap.pop().map(|Reverse(ev)| ev)
+        let take_heap = match (self.ring.front(), self.heap.peek()) {
+            (Some(r), Some(Reverse(h))) => (h.time, h.seq) < (r.time, r.seq),
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (None, None) => return None,
+        };
+        if take_heap {
+            let Reverse(ev) = self.heap.pop().expect("heap checked non-empty");
+            if self.ring.is_empty() {
+                // Advance the lane: same-time pushes that follow take the
+                // O(1) ring path.
+                self.lane_time = ev.time;
+            }
+            Some(ev)
+        } else {
+            self.ring.pop_front()
+        }
     }
 
     /// The time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<VTime> {
-        self.heap.peek().map(|Reverse(ev)| ev.time)
+        let ring = self.ring.front().map(|ev| ev.time);
+        let heap = self.heap.peek().map(|&Reverse(ev)| ev.time);
+        match (ring, heap) {
+            (Some(r), Some(h)) => Some(r.min(h)),
+            (r, h) => r.or(h),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring.len() + self.heap.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.ring.is_empty() && self.heap.is_empty()
+    }
+
+    /// All pending events, in no particular order (used to rebuild tick
+    /// bookkeeping when the dedup representation changes).
+    pub(crate) fn events(&self) -> impl Iterator<Item = &Ev> {
+        self.ring
+            .iter()
+            .chain(self.heap.iter().map(|Reverse(ev)| ev))
     }
 
     /// The components with at least one pending event, in no particular
     /// order (used by the topology analyzer's reachability pass).
     pub fn scheduled_components(&self) -> impl Iterator<Item = ComponentId> + '_ {
-        self.heap.iter().map(|Reverse(ev)| ev.component)
+        self.events().map(|ev| ev.component)
     }
 }
 
@@ -133,6 +221,24 @@ mod tests {
     }
 
     #[test]
+    fn same_time_fifo_survives_lane_advance() {
+        // Pushes before and after the lane reaches a time must interleave
+        // in seq order: heap-resident events at t pop before ring events
+        // pushed at t later.
+        let mut q = EventQueue::new();
+        let t = VTime::from_ns(2);
+        q.push(t, cid(0), EventKind::Tick); // heap (lane at 0)
+        q.push(t, cid(1), EventKind::Tick); // heap
+        let first = q.pop().unwrap(); // advances lane to t
+        assert_eq!(first.component, cid(0));
+        q.push(t, cid(2), EventKind::Tick); // ring (lane now t)
+                                            // cid(1) is in the heap with a smaller seq than cid(2) in the ring.
+        assert_eq!(q.pop().unwrap().component, cid(1));
+        assert_eq!(q.pop().unwrap().component, cid(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
     fn peek_time_is_min() {
         let mut q = EventQueue::new();
         assert_eq!(q.peek_time(), None);
@@ -143,10 +249,32 @@ mod tests {
     }
 
     #[test]
+    fn peek_time_sees_the_ring_lane() {
+        let mut q = EventQueue::new();
+        q.push(VTime::ZERO, cid(0), EventKind::Tick); // ring lane at t=0
+        q.push(VTime::from_ns(5), cid(1), EventKind::Tick); // heap
+        assert_eq!(q.peek_time(), Some(VTime::ZERO));
+    }
+
+    #[test]
     fn custom_events_carry_codes() {
         let mut q = EventQueue::new();
         q.push(VTime::ZERO, cid(0), EventKind::Custom(42));
         assert_eq!(q.pop().unwrap().kind, EventKind::Custom(42));
+    }
+
+    #[test]
+    fn disabling_the_ring_preserves_order() {
+        let mut q = EventQueue::new();
+        let t = VTime::from_ns(1);
+        q.push(VTime::ZERO, cid(0), EventKind::Tick); // lands in the ring
+        q.push(t, cid(1), EventKind::Tick);
+        q.set_ring_enabled(false); // drains the ring into the heap
+        q.push(VTime::ZERO, cid(2), EventKind::Tick);
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.component.index())
+            .collect();
+        assert_eq!(order, [0, 2, 1]);
     }
 }
 
@@ -166,6 +294,31 @@ mod proptests {
             x ^= x << 17;
             self.0 = x;
             x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// The seed engine's queue, verbatim: a single stable binary heap.
+    /// The two-level queue must be observationally identical to this.
+    #[derive(Default)]
+    struct RefQueue {
+        heap: BinaryHeap<Reverse<Ev>>,
+        next_seq: u64,
+    }
+
+    impl RefQueue {
+        fn push(&mut self, time: VTime, component: ComponentId, kind: EventKind) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Reverse(Ev {
+                time,
+                seq,
+                component,
+                kind,
+            }));
+        }
+
+        fn pop(&mut self) -> Option<Ev> {
+            self.heap.pop().map(|Reverse(ev)| ev)
         }
     }
 
@@ -216,6 +369,94 @@ mod proptests {
                         assert!(ev.time.ps() >= last);
                         last = ev.time.ps();
                     }
+                }
+            }
+        }
+    }
+
+    /// The differential determinism proof: the two-level queue and the seed
+    /// heap pop *identical* event sequences — same `(time, seq, component,
+    /// kind)` tuples in the same order — under random push/pop
+    /// interleavings biased toward the engine's same-cycle pattern.
+    #[test]
+    fn two_level_queue_matches_reference_heap_exactly() {
+        let mut rng = XorShift(0xA076_1D64_78BD_642F);
+        for _case in 0..128 {
+            let ops = (rng.next() % 499 + 1) as usize;
+            let mut q = EventQueue::new();
+            let mut r = RefQueue::default();
+            // `now` mimics the engine clock: the time of the last pop.
+            let mut now = 0u64;
+            for _ in 0..ops {
+                match rng.next() % 10 {
+                    // Same-cycle push — the hot case the ring lane serves.
+                    0..=4 => {
+                        let c = ComponentId::from_index((rng.next() % 8) as usize);
+                        q.push(VTime::from_ps(now), c, EventKind::Tick);
+                        r.push(VTime::from_ps(now), c, EventKind::Tick);
+                    }
+                    // Future push.
+                    5..=7 => {
+                        let t = now + rng.next() % 50 + 1;
+                        let c = ComponentId::from_index((rng.next() % 8) as usize);
+                        let k = EventKind::Custom(rng.next() % 4);
+                        q.push(VTime::from_ps(t), c, k);
+                        r.push(VTime::from_ps(t), c, k);
+                    }
+                    // Pop from both; results must match field-for-field.
+                    _ => {
+                        let a = q.pop();
+                        let b = r.pop();
+                        assert_eq!(a, b, "queues diverged mid-interleaving");
+                        if let Some(ev) = a {
+                            now = ev.time.ps();
+                        }
+                    }
+                }
+            }
+            // Drain: the tails must be identical too.
+            loop {
+                let a = q.pop();
+                let b = r.pop();
+                assert_eq!(a, b, "queues diverged while draining");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Same differential, ring lane disabled: the ablation mode is also
+    /// observationally the reference heap.
+    #[test]
+    fn heap_only_mode_matches_reference_heap_exactly() {
+        let mut rng = XorShift(0x1234_5678_9ABC_DEF1);
+        for _case in 0..32 {
+            let ops = (rng.next() % 299 + 1) as usize;
+            let mut q = EventQueue::new();
+            q.set_ring_enabled(false);
+            let mut r = RefQueue::default();
+            let mut now = 0u64;
+            for _ in 0..ops {
+                if rng.next().is_multiple_of(3) {
+                    let a = q.pop();
+                    assert_eq!(a, r.pop());
+                    if let Some(ev) = a {
+                        now = ev.time.ps();
+                    }
+                } else {
+                    let t = now + rng.next() % 3;
+                    let c = ComponentId::from_index((rng.next() % 4) as usize);
+                    q.push(VTime::from_ps(t), c, EventKind::Tick);
+                    r.push(VTime::from_ps(t), c, EventKind::Tick);
+                }
+            }
+            loop {
+                let a = q.pop();
+                let b = r.pop();
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
                 }
             }
         }

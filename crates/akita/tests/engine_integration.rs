@@ -8,8 +8,8 @@ use std::thread;
 use std::time::Duration;
 
 use akita::{
-    impl_msg, CompBase, Component, ComponentState, Ctx, DirectConnection, Freq, MsgMeta, Port,
-    RunState, Simulation, StopReason, VTime,
+    impl_msg, CompBase, Component, ComponentState, Ctx, DirectConnection, EngineTuning, Freq,
+    MsgMeta, Port, RunState, Simulation, StopReason, VTime,
 };
 
 #[derive(Debug)]
@@ -563,6 +563,158 @@ fn topology_and_schedule_custom_are_queryable() {
     assert!(topo.is_empty(), "no connections were wired");
     assert!(summary.events >= 1);
     assert_eq!(alarm.borrow().fired, vec![42]);
+}
+
+type EvLog = Vec<(u64, u64, usize, akita::EventKind)>;
+
+/// Records every dispatched event verbatim: `(time, seq, component, kind)`.
+/// Two runs are behaviourally identical iff their logs are equal.
+struct EvRecorder {
+    log: Rc<RefCell<EvLog>>,
+}
+
+impl akita::Hook for EvRecorder {
+    fn before_event(&mut self, ev: &akita::Ev, _c: &dyn Component) {
+        self.log
+            .borrow_mut()
+            .push((ev.time.ps(), ev.seq, ev.component.index(), ev.kind));
+    }
+}
+
+fn run_chain_with_tuning(tuning: EngineTuning) -> (EvLog, akita::RunSummary, Vec<u64>) {
+    let mut chain = build_chain(300, 2, 7);
+    chain.sim.set_tuning(tuning);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    chain.sim.add_hook(EvRecorder {
+        log: Rc::clone(&log),
+    });
+    let summary = chain.sim.run();
+    let received = chain.consumer.borrow().received.clone();
+    (log.take(), summary, received)
+}
+
+/// The differential determinism proof at the engine level: the fast hot
+/// path (ring lane, epoch dedup, demand polling, batched publishes) and
+/// the seed configuration dispatch bit-identical event sequences on a
+/// backpressured chain.
+#[test]
+fn fast_and_seed_tunings_dispatch_identical_event_sequences() {
+    let (fast_log, fast_summary, fast_received) = run_chain_with_tuning(EngineTuning::fast());
+    let (seed_log, seed_summary, seed_received) = run_chain_with_tuning(EngineTuning::seed());
+    assert_eq!(fast_summary, seed_summary);
+    assert_eq!(fast_received, seed_received);
+    assert!(!fast_log.is_empty());
+    assert_eq!(fast_log, seed_log, "event sequences diverged");
+}
+
+/// A component that fans ticks out to several future times, with
+/// duplicates, each time it runs — more than two concurrent pending ticks
+/// per component, exercising the epoch dedup's overflow path.
+struct Burst {
+    base: CompBase,
+    remaining: u32,
+    ticks: u64,
+}
+
+impl Component for Burst {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+    fn tick(&mut self, ctx: &mut Ctx) -> bool {
+        self.ticks += 1;
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        let id = ctx.current();
+        let now = ctx.now();
+        for dt in [1u64, 2, 3, 1, 2] {
+            // Includes duplicates: each (component, time) may enqueue once.
+            ctx.schedule_tick(id, now + VTime::from_ns(dt));
+        }
+        false
+    }
+}
+
+#[test]
+fn tick_dedup_is_exact_across_representations() {
+    let run = |tuning: EngineTuning| {
+        let mut sim = Simulation::new();
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let (id, rc) = sim.register(Burst {
+                base: CompBase::new("Burst", format!("B{i}")),
+                remaining: 8,
+                ticks: 0,
+            });
+            sim.wake_at(id, VTime::ZERO);
+            handles.push(rc);
+        }
+        sim.set_tuning(tuning);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.add_hook(EvRecorder {
+            log: Rc::clone(&log),
+        });
+        let summary = sim.run();
+        let ticks: Vec<u64> = handles.iter().map(|h| h.borrow().ticks).collect();
+        (log.take(), summary, ticks)
+    };
+    let fast = run(EngineTuning::fast());
+    let seed = run(EngineTuning::seed());
+    assert_eq!(fast, seed, "dedup representations disagreed");
+    // Three distinct future times per burst: the overflow path really ran.
+    assert!(fast.2.iter().all(|&t| t > 8), "bursts must re-tick");
+}
+
+/// The amortized `now`/`events` publishes must flush exactly whenever the
+/// monitor actually looks: a paused engine's lock-free counters agree with
+/// the served status reply, and a finished run leaves them exact.
+#[test]
+fn amortized_publish_is_exact_when_paused_and_queried() {
+    let mut chain = build_chain(500_000, 4, 1);
+    let client = chain.sim.client();
+    let probe = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(5));
+        client.pause();
+        for _ in 0..500 {
+            if client.run_state() == RunState::Paused {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        let status = client.status().expect("status while paused");
+        let atomic_events = client.events_handled();
+        let atomic_now = client.now();
+        client.resume();
+        (status, atomic_events, atomic_now)
+    });
+    let summary = chain.sim.run();
+    let (status, atomic_events, atomic_now) = probe.join().unwrap();
+    assert_eq!(status.state, RunState::Paused);
+    assert!(status.events > 0);
+    assert_eq!(
+        status.events, atomic_events,
+        "flush-on-query must make the lock-free count exact"
+    );
+    assert_eq!(status.now, atomic_now);
+    // The run's final flush leaves the atomics exact too.
+    assert_eq!(chain.sim.control().events_handled(), summary.events);
+}
+
+/// After a deadline the simulation is resumable — the engine must publish
+/// `Idle`, not `Finished`, so RTM doesn't report a live sim as done.
+#[test]
+fn deadline_publishes_idle_not_finished() {
+    let mut chain = build_chain(1000, 4, 1);
+    let summary = chain.sim.run_until(VTime::from_ns(10));
+    assert_eq!(summary.reason, StopReason::DeadlineReached);
+    assert_eq!(chain.sim.control().state(), RunState::Idle);
+    let summary = chain.sim.run();
+    assert_eq!(summary.reason, StopReason::Completed);
+    assert_eq!(chain.sim.control().state(), RunState::Finished);
 }
 
 #[test]

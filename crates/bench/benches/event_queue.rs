@@ -1,0 +1,162 @@
+//! Microbenches for the engine hot path: the two-level event queue's ring
+//! lane versus the plain binary heap, and the end-to-end effect of each
+//! [`EngineTuning`] knob on raw event throughput.
+
+use rtm_bench::micro::bench;
+
+use akita::{
+    CompBase, Component, ComponentId, Ctx, EngineTuning, EventKind, EventQueue, Simulation, VTime,
+};
+
+const QUEUE_OPS: u64 = 4096;
+
+/// Push/pop `QUEUE_OPS` events that all land on the current virtual time —
+/// the dominant pattern in a busy cycle (every tick, wake, and same-cycle
+/// delivery). The ring lane turns each of these into a deque push/pop.
+fn bench_same_cycle(ring: bool) {
+    let label = if ring { "ring" } else { "heap" };
+    bench(&format!("queue/same_cycle_burst/{label}"), || {
+        let mut q = EventQueue::new();
+        q.set_ring_enabled(ring);
+        for i in 0..QUEUE_OPS {
+            q.push(
+                VTime::ZERO,
+                ComponentId::from_index((i % 64) as usize),
+                EventKind::Tick,
+            );
+        }
+        let mut popped = 0u64;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        popped
+    });
+}
+
+/// A mixed stream: mostly same-cycle events with periodic future-time
+/// schedules, popped as the engine would — advancing the lane as time
+/// moves. The realistic steady-state shape.
+fn bench_mixed_stream(ring: bool) {
+    let label = if ring { "ring" } else { "heap" };
+    bench(&format!("queue/mixed_stream/{label}"), || {
+        let mut q = EventQueue::new();
+        q.set_ring_enabled(ring);
+        let mut pushed = 0u64;
+        let mut popped = 0u64;
+        while let Some(ev) = {
+            if pushed == 0 {
+                q.push(VTime::ZERO, ComponentId::from_index(0), EventKind::Tick);
+                pushed = 1;
+            }
+            q.pop()
+        } {
+            popped += 1;
+            if pushed < QUEUE_OPS {
+                // Three same-cycle events, one future-time event.
+                for i in 0..3u64 {
+                    q.push(
+                        ev.time,
+                        ComponentId::from_index(((pushed + i) % 64) as usize),
+                        EventKind::Tick,
+                    );
+                }
+                q.push(
+                    ev.time + VTime::from_ns(1),
+                    ComponentId::from_index((pushed % 64) as usize),
+                    EventKind::Tick,
+                );
+                pushed += 4;
+            }
+        }
+        popped
+    });
+}
+
+/// A component that ticks for a fixed number of cycles doing trivial work,
+/// so the measurement is the engine loop itself.
+struct Spinner {
+    base: CompBase,
+    remaining: u64,
+    acc: u64,
+}
+
+impl Component for Spinner {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+    fn tick(&mut self, _ctx: &mut Ctx) -> bool {
+        self.acc = self.acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.remaining -= 1;
+        self.remaining > 0
+    }
+}
+
+fn build_spinners(n_components: usize, ticks_each: u64) -> Simulation {
+    let mut sim = Simulation::new();
+    for i in 0..n_components {
+        let (id, _) = sim.register(Spinner {
+            base: CompBase::new("Spinner", format!("S{i}")),
+            remaining: ticks_each,
+            acc: i as u64,
+        });
+        sim.wake_at(id, VTime::ZERO);
+    }
+    sim
+}
+
+/// The knob-by-knob ablation: start from the seed configuration and enable
+/// one optimization at a time, then all of them (the default).
+fn bench_tuning_ablation() {
+    let variants: [(&str, EngineTuning); 6] = [
+        ("seed", EngineTuning::seed()),
+        (
+            "ring_lane",
+            EngineTuning {
+                ring_lane: true,
+                ..EngineTuning::seed()
+            },
+        ),
+        (
+            "epoch_dedup",
+            EngineTuning {
+                epoch_dedup: true,
+                ..EngineTuning::seed()
+            },
+        ),
+        (
+            "demand_polling",
+            EngineTuning {
+                demand_polling: true,
+                ..EngineTuning::seed()
+            },
+        ),
+        (
+            "publish_batch",
+            EngineTuning {
+                publish_batch: 1024,
+                ..EngineTuning::seed()
+            },
+        ),
+        ("fast", EngineTuning::fast()),
+    ];
+    for (label, tuning) in variants {
+        bench(&format!("engine/tuning_ablation/{label}"), || {
+            let mut sim = build_spinners(64, 10_000 / 64);
+            sim.set_tuning(tuning);
+            sim.run()
+        });
+    }
+}
+
+fn main() {
+    for ring in [false, true] {
+        bench_same_cycle(ring);
+    }
+    for ring in [false, true] {
+        bench_mixed_stream(ring);
+    }
+    bench_tuning_ablation();
+}

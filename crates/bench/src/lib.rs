@@ -4,6 +4,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chain;
 pub mod harness;
 pub mod micro;
 pub mod textfig;

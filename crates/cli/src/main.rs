@@ -45,6 +45,10 @@ OPTIONS:
     --hold                  keep the simulation inspectable after it finishes
                             (terminate via the dashboard or POST /api/terminate)
     --no-monitor            run without the monitor (baseline timing)
+    --engine <fast|seed>    engine hot-path tuning: `fast` (default; ring
+                            lane, epoch tick dedup, demand polling, batched
+                            publishes) or `seed` (pre-optimization baseline,
+                            for A/B timing)
     --flush                 flush caches between kernels (MGPUSim's model)
     --inject-deadlock       enable the Case Study 2 L2 write-buffer bug
     --json                  (analyze) print the final LintReport as JSON
@@ -54,6 +58,7 @@ OPTIONS:
 struct Args {
     analyze: bool,
     json: bool,
+    engine: akita::EngineTuning,
     workload: String,
     cus: Option<usize>,
     chiplets: Option<usize>,
@@ -76,6 +81,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         analyze: false,
         json: false,
+        engine: akita::EngineTuning::fast(),
         workload: "fir".into(),
         cus: None,
         chiplets: None,
@@ -127,6 +133,13 @@ fn parse_args() -> Args {
                         .parse()
                         .unwrap_or_else(|_| die("bad --net-latency-ns")),
                 );
+            }
+            "--engine" => {
+                args.engine = match value("--engine").as_str() {
+                    "fast" => akita::EngineTuning::fast(),
+                    "seed" => akita::EngineTuning::seed(),
+                    other => die(&format!("bad --engine `{other}` (fast|seed)")),
+                };
             }
             "--config" => args.config = Some(value("--config")),
             "--dump-config" => {
@@ -228,6 +241,7 @@ fn run_analyze(args: &Args) -> ! {
     });
     let cfg = build_config(args);
     let mut platform = Platform::build(cfg);
+    platform.sim.set_tuning(args.engine);
     workload.enqueue(&mut platform.driver.borrow_mut());
     platform.start();
 
@@ -296,6 +310,7 @@ fn main() {
         cfg.chiplets, cfg.gpu.cus_per_chiplet, args.workload
     );
     let mut platform = Platform::build(cfg);
+    platform.sim.set_tuning(args.engine);
     workload.enqueue(&mut platform.driver.borrow_mut());
     platform.start();
 

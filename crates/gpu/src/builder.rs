@@ -405,7 +405,7 @@ impl Platform {
                                     c as u64,
                                     bank_finder.clone(),
                                     rdma_port,
-                                )))
+                                )));
                             }
                             None => cache.borrow_mut().set_low(Box::new(bank_finder.clone())),
                         }

@@ -22,9 +22,9 @@
 //! choice 3).
 
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use akita::{
     BufferSnapshot, ComponentInfo, ComponentStateDto, EngineStatus, LintReport, ProfileReport,
@@ -48,6 +48,18 @@ pub enum BufferSort {
     Percent,
 }
 
+/// Sliding-window state behind [`Monitor::events_per_sec`].
+struct EventRate {
+    last_instant: Instant,
+    last_events: u64,
+    rate: f64,
+}
+
+/// Window below which [`Monitor::events_per_sec`] reuses the last computed
+/// rate instead of resampling — keeps rapid dashboard polls from reading a
+/// noisy near-zero-elapsed quotient.
+const RATE_WINDOW: Duration = Duration::from_millis(100);
+
 /// A monitor attached to a running simulation.
 pub struct Monitor {
     client: QueryClient,
@@ -55,6 +67,7 @@ pub struct Monitor {
     resources: ResourceSampler,
     values: Arc<ValueMonitor>,
     alerts: Arc<AlertEngine>,
+    rate: Mutex<EventRate>,
     /// Dropping this wakes and stops the sampler thread immediately.
     sampler_stop: Option<mpsc::Sender<()>>,
     sampler: Option<JoinHandle<()>>,
@@ -94,12 +107,18 @@ impl Monitor {
                 })
                 .expect("spawn sampler thread")
         };
+        let rate = Mutex::new(EventRate {
+            last_instant: Instant::now(),
+            last_events: client.events_handled(),
+            rate: 0.0,
+        });
         Monitor {
             client,
             progress,
             resources: ResourceSampler::new(),
             values,
             alerts,
+            rate,
             sampler_stop: Some(stop_tx),
             sampler: Some(sampler),
         }
@@ -130,6 +149,24 @@ impl Monitor {
     /// Current run state, lock-free.
     pub fn run_state(&self) -> RunState {
         self.client.run_state()
+    }
+
+    /// Live event throughput: dispatched events per wall-clock second,
+    /// derived from the engine's lock-free counter over a sliding window
+    /// (the "how fast is my simulation actually going" heartbeat number).
+    ///
+    /// Returns the last computed rate when called faster than the window;
+    /// 0.0 until the first window elapses or while the engine is idle.
+    pub fn events_per_sec(&self) -> f64 {
+        let mut r = self.rate.lock().expect("event-rate lock");
+        let elapsed = r.last_instant.elapsed();
+        if elapsed >= RATE_WINDOW {
+            let events = self.client.events_handled();
+            r.rate = events.saturating_sub(r.last_events) as f64 / elapsed.as_secs_f64();
+            r.last_events = events;
+            r.last_instant = Instant::now();
+        }
+        r.rate
     }
 
     /// Engine status (round-trips to the engine).

@@ -60,7 +60,22 @@ fn api_now(m: &Monitor) -> Response {
         "now_sec": (now.as_sec()),
         "state": (m.run_state()),
         "events": (m.client().events_handled()),
+        "events_per_sec": (m.events_per_sec()),
     }))
+}
+
+/// Engine status plus the monitor-side throughput estimate.
+fn api_status(m: &Monitor) -> Response {
+    match m.status() {
+        Ok(status) => {
+            let mut v = serde_json::to_value(status).expect("status serializes");
+            if let serde_json::Value::Object(fields) = &mut v {
+                fields.push(("events_per_sec".into(), json!((m.events_per_sec()))));
+            }
+            ok_json(&v)
+        }
+        Err(e) => query_error(&e),
+    }
 }
 
 /// One row of the buffer analyzer table (Fig 3).
@@ -141,7 +156,7 @@ pub fn route(m: &Monitor, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/") => Response::html(INDEX_HTML),
         ("GET", "/api/now") => api_now(m),
-        ("GET", "/api/status") => respond(m.status()),
+        ("GET", "/api/status") => api_status(m),
         ("GET", "/api/components") => respond(m.components()),
         ("GET", "/api/component") => with_name(req, |name| match m.component_state(name) {
             Ok(Some(dto)) => ok_json(&dto),

@@ -205,6 +205,59 @@ fn pause_and_continue_over_http() {
 }
 
 #[test]
+fn paused_status_and_heartbeat_report_the_same_exact_event_count() {
+    let rig = launch(500_000, None);
+    // Let the engine actually dispatch work before freezing it — an
+    // immediate pause can win the race against the very first event.
+    let start = Instant::now();
+    loop {
+        let events = client::get(rig.addr, "/api/now").unwrap().json().unwrap()["events"]
+            .as_u64()
+            .unwrap();
+        if events > 0 {
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "simulation never dispatched events"
+        );
+        thread::sleep(Duration::from_millis(2));
+    }
+    client::post(rig.addr, "/api/pause", None).expect("pause");
+    assert!(
+        wait_for_state(rig.addr, "Paused", Duration::from_secs(5)),
+        "engine never paused"
+    );
+
+    // Flush-on-query makes the batched publishes exact: the round-trip
+    // status count and the lock-free heartbeat count must be the same
+    // number while the engine is frozen.
+    let status = client::get(rig.addr, "/api/status")
+        .unwrap()
+        .json()
+        .unwrap();
+    let now = client::get(rig.addr, "/api/now").unwrap().json().unwrap();
+    assert_eq!(status["state"], "Paused");
+    let exact = status["events"].as_u64().unwrap();
+    assert!(exact > 0);
+    assert_eq!(now["events"].as_u64().unwrap(), exact);
+
+    // Paused means frozen: a later status reports the identical count.
+    let again = client::get(rig.addr, "/api/status")
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(again["events"].as_u64().unwrap(), exact);
+
+    // Both payloads expose the live throughput estimate as a number.
+    assert!(status["events_per_sec"].as_f64().is_some());
+    assert!(now["events_per_sec"].as_f64().is_some());
+
+    client::post(rig.addr, "/api/continue", None).expect("continue");
+    terminate(rig);
+}
+
+#[test]
 fn watches_collect_time_series_over_http() {
     let rig = launch(400_000, None);
     // Find an L1 cache to watch.

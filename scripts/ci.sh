@@ -16,4 +16,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+echo "==> cargo bench --no-run (benches compile)"
+cargo bench --offline --workspace --no-run
+
+echo "==> engine throughput smoke (sanity floor, not a perf gate)"
+cargo run --offline --release -q -p rtm-bench --bin bench_engine -- --smoke
+
 echo "==> OK"
