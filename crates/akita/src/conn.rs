@@ -18,6 +18,7 @@ use crate::msg::Msg;
 use crate::port::Port;
 use crate::state::ComponentState;
 use crate::time::VTime;
+use crate::trace;
 
 /// Why a send was not accepted.
 #[derive(Debug)]
@@ -106,6 +107,7 @@ struct Link {
 /// destination port has its own in-flight queue (a *link*).
 pub struct DirectConnection {
     base: CompBase,
+    site: trace::SiteId,
     latency: VTime,
     /// Bytes per second per link; `None` models an unlimited-bandwidth wire.
     bandwidth: Option<u64>,
@@ -123,8 +125,10 @@ impl DirectConnection {
 
     /// Creates a connection with the given transport `latency`.
     pub fn new(name: impl Into<String>, latency: VTime) -> Self {
+        let base = CompBase::new("DirectConnection", name);
         DirectConnection {
-            base: CompBase::new("DirectConnection", name),
+            site: trace::site(&base.name),
+            base,
             latency,
             bandwidth: None,
             link_cap: Self::DEFAULT_LINK_CAP,
@@ -203,10 +207,26 @@ impl Component for DirectConnection {
                     break;
                 }
                 let msg = link.queue.pop_front().expect("front checked").msg;
+                // Captured before `deliver` consumes the message; recorded
+                // only on successful delivery.
+                let hop = trace::is_enabled().then(|| {
+                    let meta = msg.meta();
+                    (meta.task, meta.task_kind, meta.send_time)
+                });
                 match link.port.deliver(ctx, msg) {
                     Ok(()) => {
                         self.delivered += 1;
                         link_progress = true;
+                        if let Some((task, kind, sent)) = hop {
+                            trace::complete(
+                                task,
+                                self.site,
+                                kind,
+                                trace::Phase::Transit,
+                                sent,
+                                now,
+                            );
+                        }
                     }
                     Err(msg) => {
                         // Destination buffer full: stall head-of-line. The

@@ -7,6 +7,7 @@
 //! bookkeeping when none are installed.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use crate::component::Component;
 use crate::queue::Ev;
@@ -47,27 +48,80 @@ pub trait Hook {
 /// sim.run();
 /// assert_eq!(counts.borrow().count("Nop"), 5);
 /// ```
+///
+/// The counts live behind an `Arc<Mutex<..>>` so a [`Send`]able
+/// [`EventCounts`] handle ([`EventCountHook::shared`]) can expose them to
+/// the monitoring thread (the `/api/metrics` scrape surface) while the
+/// hook itself stays on the simulation thread. The lock is uncontended on
+/// the hot path — the scrape thread grabs it only per HTTP request.
 #[derive(Debug, Default)]
 pub struct EventCountHook {
-    counts: HashMap<String, u64>,
+    counts: Arc<Mutex<HashMap<String, u64>>>,
+}
+
+/// A cloneable, thread-safe read handle onto an [`EventCountHook`].
+#[derive(Debug, Clone, Default)]
+pub struct EventCounts {
+    counts: Arc<Mutex<HashMap<String, u64>>>,
+}
+
+fn sorted_counts(counts: &Mutex<HashMap<String, u64>>) -> Vec<(String, u64)> {
+    let counts = counts
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut v: Vec<_> = counts.iter().map(|(k, &n)| (k.clone(), n)).collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
 }
 
 impl EventCountHook {
     /// Events dispatched to components of `kind` so far.
     pub fn count(&self, kind: &str) -> u64 {
-        self.counts.get(kind).copied().unwrap_or(0)
+        self.counts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(kind)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// All per-kind counts, sorted descending.
     pub fn all(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<_> = self.counts.iter().map(|(k, &n)| (k.clone(), n)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        v
+        sorted_counts(&self.counts)
+    }
+
+    /// A read handle usable from other threads (e.g. the RTM monitor).
+    pub fn shared(&self) -> EventCounts {
+        EventCounts {
+            counts: Arc::clone(&self.counts),
+        }
+    }
+}
+
+impl EventCounts {
+    /// Events dispatched to components of `kind` so far.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(kind)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All per-kind counts, sorted descending.
+    pub fn all(&self) -> Vec<(String, u64)> {
+        sorted_counts(&self.counts)
     }
 }
 
 impl Hook for EventCountHook {
     fn before_event(&mut self, _ev: &Ev, component: &dyn Component) {
-        *self.counts.entry(component.kind().to_owned()).or_insert(0) += 1;
+        *self
+            .counts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(component.kind().to_owned())
+            .or_insert(0) += 1;
     }
 }

@@ -58,6 +58,7 @@ mod query;
 mod queue;
 mod state;
 mod time;
+pub mod trace;
 
 pub use analysis::{
     CycleFinding, DeadlockReport, LintFinding, LintReport, Severity, Suspect, WaitFor,
@@ -66,7 +67,7 @@ pub use buffer::{Buffer, BufferRegistry, BufferSnapshot};
 pub use component::{CompBase, Component};
 pub use conn::{Connection, DirectConnection, LinkWait, SendError};
 pub use engine::{Ctx, EngineTuning, RunState, RunSummary, SimControl, Simulation, StopReason};
-pub use hook::{EventCountHook, Hook};
+pub use hook::{EventCountHook, EventCounts, Hook};
 pub use ids::{ComponentId, MsgId, PortId};
 pub use msg::{downcast_msg, Msg, MsgExt, MsgMeta};
 pub use port::{Port, PortSnapshot};
@@ -79,3 +80,4 @@ pub use query::{
 pub use queue::{Ev, EventKind, EventQueue};
 pub use state::{ComponentState, Field, IntoValue, Value};
 pub use time::{Freq, VTime, PS_PER_SEC};
+pub use trace::{TaskId, TaskTraceReport};

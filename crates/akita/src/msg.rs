@@ -10,6 +10,7 @@ use std::fmt::Debug;
 
 use crate::ids::{MsgId, PortId};
 use crate::time::VTime;
+use crate::trace::TaskId;
 
 /// Metadata carried by every message.
 #[derive(Debug, Clone)]
@@ -28,11 +29,20 @@ pub struct MsgMeta {
     /// Number of bytes the message occupies on the wire, for bandwidth
     /// modeling.
     pub traffic_bytes: u32,
+    /// The logical task this message advances (see [`crate::trace`]).
+    /// Fresh by default; components creating messages on behalf of an
+    /// upstream request copy the upstream task instead
+    /// ([`MsgMeta::inherit_task`]).
+    pub task: TaskId,
+    /// Short task-kind tag (`"read"`, `"write"`, …) used to key latency
+    /// histograms. `&'static str` so hot-path recording never allocates.
+    pub task_kind: &'static str,
 }
 
 impl MsgMeta {
     /// Creates metadata for a message from `src` to `dst` carrying
-    /// `traffic_bytes` bytes of payload on the wire.
+    /// `traffic_bytes` bytes of payload on the wire. The message starts a
+    /// fresh task of kind `"msg"`.
     pub fn new(src: PortId, dst: PortId, traffic_bytes: u32) -> Self {
         MsgMeta {
             id: MsgId::fresh(),
@@ -41,7 +51,23 @@ impl MsgMeta {
             send_time: VTime::ZERO,
             recv_time: VTime::ZERO,
             traffic_bytes,
+            task: TaskId::fresh(),
+            task_kind: "msg",
         }
+    }
+
+    /// Sets the task-kind tag (builder style, for message constructors).
+    #[must_use]
+    pub fn with_kind(mut self, kind: &'static str) -> Self {
+        self.task_kind = kind;
+        self
+    }
+
+    /// Adopts `task`/`kind` from an upstream message's metadata, making
+    /// this message part of the same logical task.
+    pub fn inherit_task(&mut self, task: TaskId, kind: &'static str) {
+        self.task = task;
+        self.task_kind = kind;
     }
 }
 
@@ -181,6 +207,23 @@ mod tests {
         let mut m = ping(0);
         m.meta_mut().send_time = VTime::from_ns(5);
         assert_eq!(m.meta().send_time, VTime::from_ns(5));
+    }
+
+    #[test]
+    fn fresh_messages_start_distinct_tasks() {
+        let a = ping(0);
+        let b = ping(0);
+        assert_ne!(a.meta().task, b.meta().task);
+        assert_eq!(a.meta().task_kind, "msg");
+    }
+
+    #[test]
+    fn inherit_task_joins_the_upstream_task() {
+        let up = ping(0);
+        let mut down = ping(0);
+        down.meta_mut()
+            .inherit_task(up.meta().task, up.meta().task_kind);
+        assert_eq!(down.meta().task, up.meta().task);
     }
 
     #[test]

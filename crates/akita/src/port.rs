@@ -17,6 +17,7 @@ use crate::conn::{Connection, SendError};
 use crate::engine::Ctx;
 use crate::ids::{ComponentId, PortId};
 use crate::msg::Msg;
+use crate::trace;
 
 struct PortInner {
     id: PortId,
@@ -74,6 +75,9 @@ impl PortProbe for ProbeImpl {
 pub struct Port {
     inner: Rc<RefCell<PortInner>>,
     incoming: Buffer<Box<dyn Msg>>,
+    /// Interned at construction so the retrieve hot path records queue
+    /// waits without borrowing or hashing.
+    site: trace::SiteId,
     /// Keeps the registry's weak probe alive for the port's lifetime.
     _probe: Rc<ProbeImpl>,
 }
@@ -88,6 +92,7 @@ impl Port {
     /// Panics if `buf_cap` is zero.
     pub fn new(registry: &BufferRegistry, name: impl Into<String>, buf_cap: usize) -> Self {
         let name = name.into();
+        let site = trace::site(&name);
         let incoming = Buffer::new(registry, format!("{name}.Buf"), buf_cap);
         let inner = Rc::new(RefCell::new(PortInner {
             id: PortId::fresh(),
@@ -103,6 +108,7 @@ impl Port {
         Port {
             inner,
             incoming,
+            site,
             _probe: probe,
         }
     }
@@ -182,9 +188,22 @@ impl Port {
 
     /// Removes the oldest delivered message, waking a stalled connection if
     /// the buffer was full.
+    ///
+    /// When task tracing is on, the time the message sat delivered-but-
+    /// unretrieved (`now - recv_time`) is recorded as this port's queue
+    /// wait — the central measurement point for every component's input
+    /// queues.
     pub fn retrieve(&self, ctx: &mut Ctx) -> Option<Box<dyn Msg>> {
         let was_full = self.incoming.is_full();
         let msg = self.incoming.pop()?;
+        if trace::is_enabled() {
+            let meta = msg.meta();
+            let wait = ctx
+                .now()
+                .checked_sub(meta.recv_time)
+                .unwrap_or(crate::VTime::ZERO);
+            trace::observe(self.site, meta.task_kind, trace::Phase::Queue, wait);
+        }
         if was_full {
             if let Some((_, conn_id)) = self.inner.borrow().conn.as_ref() {
                 ctx.wake(*conn_id);

@@ -1,0 +1,789 @@
+//! Task-lifetime tracing and latency histograms (the "where does the time
+//! go" layer AkitaRTM's companion tooling — Daisen-style task tracing —
+//! answers for Akita simulations).
+//!
+//! Every [`Msg`](crate::Msg) is stamped with a [`TaskId`] at creation;
+//! components propagate that id onto the messages they create on behalf of
+//! an upstream request, so one logical memory access is one *task* as it
+//! traverses ROB → AT → L1 → L2 → DRAM. Instrumented code records three
+//! things:
+//!
+//! - **latency observations** ([`observe`]) into log2-bucketed virtual-time
+//!   histograms keyed by (site, task kind, [`Phase`]) — queue wait measured
+//!   centrally at [`Port::retrieve`](crate::Port::retrieve), service time by
+//!   each component, transit time by connections;
+//! - **completed spans** ([`complete`]) into per-shard fixed-capacity ring
+//!   buffers with drop counters, exportable as Chrome/Perfetto
+//!   `trace_event` JSON ([`TaskTraceReport::to_chrome_trace`]);
+//! - **open tasks** ([`begin`]) into a bounded table, so the dashboard can
+//!   show the top-N slowest in-flight tasks.
+//!
+//! Like [`crate::profile`], collection is off by default and every hook
+//! point costs exactly one relaxed atomic load while disabled — the
+//! paper's "no work unless requested" property. Unlike `profile`, the
+//! shards are registered in a process-global registry behind uncontended
+//! mutexes, so [`snapshot`] can aggregate from the monitoring thread
+//! without a round-trip through the engine's query channel even while the
+//! simulation is busy.
+//!
+//! # Examples
+//!
+//! ```
+//! use akita::{trace, VTime};
+//!
+//! trace::reset();
+//! trace::set_enabled(true);
+//! let site = trace::site("GPU0.L1V");
+//! let task = trace::TaskId::fresh();
+//! trace::begin(task, site, "read", VTime::from_ns(10));
+//! trace::complete(task, site, "read", trace::Phase::Service,
+//!                 VTime::from_ns(10), VTime::from_ns(74));
+//! trace::set_enabled(false);
+//! let report = trace::snapshot(1024, 32);
+//! assert_eq!(report.histograms.len(), 1);
+//! assert_eq!(report.spans.len(), 1);
+//! assert!(report.open.is_empty());
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use serde::{Deserialize, Serialize};
+use serde_json::json;
+
+use crate::time::VTime;
+
+/// Identity of a logical task — a unit of work whose lifetime spans many
+/// messages and components (e.g. one memory access from the CU's request
+/// to the response it retires).
+///
+/// Freshly created messages get a fresh id (see
+/// [`MsgMeta::new`](crate::MsgMeta::new)); components creating messages on
+/// behalf of an upstream request copy the upstream id instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TaskId(u64);
+
+impl TaskId {
+    /// The "not part of any task" sentinel; trace hooks ignore it.
+    pub const NONE: TaskId = TaskId(0);
+
+    /// Allocates a fresh id.
+    pub fn fresh() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        TaskId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw id value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the [`TaskId::NONE`] sentinel.
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// An interned trace-site name (a component or port), so hot-path
+/// recording never allocates or hashes strings.
+///
+/// Obtain one with [`site`] at construction time and store it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(u32);
+
+impl SiteId {
+    /// The raw intern-table index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Default)]
+struct Interner {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(Interner::default()))
+}
+
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Interns `name`, returning a stable [`SiteId`] for it. Idempotent; call
+/// once at component/port construction, not on the hot path.
+pub fn site(name: &str) -> SiteId {
+    let mut it = lock_ignoring_poison(interner());
+    if let Some(&id) = it.by_name.get(name) {
+        return SiteId(id);
+    }
+    let id = u32::try_from(it.names.len()).expect("fewer than 2^32 trace sites");
+    it.names.push(name.to_owned());
+    it.by_name.insert(name.to_owned(), id);
+    SiteId(id)
+}
+
+/// The name `id` was interned under.
+pub fn site_name(id: SiteId) -> String {
+    let it = lock_ignoring_poison(interner());
+    it.names
+        .get(id.0 as usize)
+        .cloned()
+        .unwrap_or_else(|| format!("site#{}", id.0))
+}
+
+/// Which part of a task's lifetime a latency observation covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Phase {
+    /// Time a delivered message waited in a port buffer before the owning
+    /// component retrieved it.
+    Queue,
+    /// Time a component spent working on the task, from acceptance to
+    /// completion.
+    Service,
+    /// Time a message spent on a connection (latency + serialization +
+    /// head-of-line stall).
+    Transit,
+}
+
+impl Phase {
+    /// The lowercase label used in exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Phase::Queue => "queue",
+            Phase::Service => "service",
+            Phase::Transit => "transit",
+        }
+    }
+}
+
+/// Number of log2 buckets per histogram. Bucket 0 holds observations of
+/// 0–1 ps; bucket `i` holds `[2^i, 2^(i+1))` ps; the last bucket absorbs
+/// everything ≥ 2^47 ps (≈ 140 virtual seconds).
+pub const HIST_BUCKETS: usize = 48;
+
+/// Completed spans each shard retains before dropping the oldest.
+pub const SPAN_RING_CAP: usize = 16_384;
+
+/// Open (in-flight) tasks each shard tracks before dropping new begins.
+pub const OPEN_TABLE_CAP: usize = 8_192;
+
+fn bucket_index(ps: u64) -> usize {
+    if ps < 2 {
+        0
+    } else {
+        ((63 - ps.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound, in picoseconds, of histogram bucket `i`.
+pub fn bucket_upper_ps(i: usize) -> u64 {
+    (1u64 << (i as u32 + 1)).saturating_sub(1)
+}
+
+#[derive(Clone)]
+struct Hist {
+    count: u64,
+    sum_ps: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            count: 0,
+            sum_ps: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Hist {
+    fn record(&mut self, ps: u64) {
+        self.count += 1;
+        self.sum_ps = self.sum_ps.saturating_add(ps);
+        self.buckets[bucket_index(ps)] += 1;
+    }
+
+    fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum_ps = self.sum_ps.saturating_add(other.sum_ps);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// The upper bound of the bucket where the cumulative count crosses
+    /// quantile `q` (0..=1).
+    fn quantile_ps(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return bucket_upper_ps(i);
+            }
+        }
+        bucket_upper_ps(HIST_BUCKETS - 1)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Span {
+    task: u64,
+    site: SiteId,
+    kind: &'static str,
+    phase: Phase,
+    begin: VTime,
+    end: VTime,
+}
+
+struct OpenSpan {
+    kind: &'static str,
+    begin: VTime,
+}
+
+#[derive(Default)]
+struct Shard {
+    hists: HashMap<(SiteId, &'static str, Phase), Hist>,
+    spans: VecDeque<Span>,
+    spans_dropped: u64,
+    open: HashMap<(u64, u32), OpenSpan>,
+    open_dropped: u64,
+}
+
+impl Shard {
+    fn clear(&mut self) {
+        self.hists.clear();
+        self.spans.clear();
+        self.spans_dropped = 0;
+        self.open.clear();
+        self.open_dropped = 0;
+    }
+
+    fn push_span(&mut self, span: Span) {
+        if self.spans.len() >= SPAN_RING_CAP {
+            self.spans.pop_front();
+            self.spans_dropped += 1;
+        }
+        self.spans.push_back(span);
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Vec<Arc<Mutex<Shard>>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Mutex<Shard>>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static SHARD: Arc<Mutex<Shard>> = {
+        let shard = Arc::new(Mutex::new(Shard::default()));
+        lock_ignoring_poison(registry()).push(Arc::clone(&shard));
+        shard
+    };
+}
+
+fn with_shard(f: impl FnOnce(&mut Shard)) {
+    SHARD.with(|s| f(&mut lock_ignoring_poison(s)));
+}
+
+/// Turns task tracing on or off globally. Unlike profiling this does not
+/// need an engine round-trip: the monitor thread flips it directly.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether task tracing is currently on. One relaxed atomic load — this is
+/// the entire disabled-path cost of every hook point.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all collected data in every shard (all threads).
+pub fn reset() {
+    let shards = lock_ignoring_poison(registry());
+    for shard in shards.iter() {
+        lock_ignoring_poison(shard).clear();
+    }
+}
+
+/// Records one latency observation of `dt` at `site` for task-kind `kind`.
+///
+/// No-op (one atomic load) while tracing is disabled.
+pub fn observe(site: SiteId, kind: &'static str, phase: Phase, dt: VTime) {
+    if !is_enabled() {
+        return;
+    }
+    with_shard(|s| {
+        s.hists
+            .entry((site, kind, phase))
+            .or_default()
+            .record(dt.ps());
+    });
+}
+
+/// Marks `task` as in-flight at `site` since `now`, for the top-N slowest
+/// view. Bounded: past [`OPEN_TABLE_CAP`] new begins are counted as
+/// dropped instead of tracked. No-op while tracing is disabled.
+pub fn begin(task: TaskId, site: SiteId, kind: &'static str, now: VTime) {
+    if !is_enabled() || task.is_none() {
+        return;
+    }
+    with_shard(|s| {
+        if s.open.len() >= OPEN_TABLE_CAP {
+            s.open_dropped += 1;
+            return;
+        }
+        s.open
+            .insert((task.raw(), site.raw()), OpenSpan { kind, begin: now });
+    });
+}
+
+/// Completes a span of `task` at `site`: removes the matching open entry
+/// (if any), appends a completed span `[begin, now]` to the ring, and
+/// records `now - begin` into the (site, kind, phase) histogram.
+///
+/// Callers keep their own `begin` timestamp (e.g. an `accepted_at` field
+/// in an in-flight table) so spans complete correctly even when tracing
+/// was enabled mid-flight. No-op while tracing is disabled.
+pub fn complete(
+    task: TaskId,
+    site: SiteId,
+    kind: &'static str,
+    phase: Phase,
+    begin: VTime,
+    now: VTime,
+) {
+    if !is_enabled() {
+        return;
+    }
+    let dt = now.checked_sub(begin).unwrap_or(VTime::ZERO);
+    with_shard(|s| {
+        s.open.remove(&(task.raw(), site.raw()));
+        s.hists
+            .entry((site, kind, phase))
+            .or_default()
+            .record(dt.ps());
+        s.push_span(Span {
+            task: task.raw(),
+            site,
+            kind,
+            phase,
+            begin,
+            end: now,
+        });
+    });
+}
+
+/// One aggregated (site, kind, phase) latency histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Site (component or port) name.
+    pub site: String,
+    /// Task kind, e.g. `"read"`.
+    pub kind: String,
+    /// Which lifetime phase the observations cover.
+    pub phase: Phase,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations, picoseconds (saturating).
+    pub sum_ps: u64,
+    /// Dense log2 bucket counts; bucket `i` covers up to
+    /// [`bucket_upper_ps`]`(i)` inclusive.
+    pub buckets: Vec<u64>,
+    /// Median latency (upper bound of the bucket containing it), ps.
+    pub p50_ps: u64,
+    /// 95th-percentile latency, ps.
+    pub p95_ps: u64,
+    /// 99th-percentile latency, ps.
+    pub p99_ps: u64,
+}
+
+/// One completed task span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    /// The task the span belongs to.
+    pub task: u64,
+    /// Site the span ran at.
+    pub site: String,
+    /// Task kind.
+    pub kind: String,
+    /// Lifetime phase.
+    pub phase: Phase,
+    /// Span start, virtual picoseconds.
+    pub begin_ps: u64,
+    /// Span end, virtual picoseconds.
+    pub end_ps: u64,
+}
+
+/// One still-open (in-flight) task span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpenTaskSnapshot {
+    /// The task.
+    pub task: u64,
+    /// Site where it is in flight.
+    pub site: String,
+    /// Task kind.
+    pub kind: String,
+    /// When it was accepted, virtual picoseconds.
+    pub begin_ps: u64,
+}
+
+/// Aggregated tracing data across every shard, ready for export.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskTraceReport {
+    /// Whether collection was enabled at snapshot time.
+    pub enabled: bool,
+    /// Latency histograms, sorted by (site, kind, phase label).
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Completed spans, oldest first (bounded by the caller's `max_spans`).
+    pub spans: Vec<SpanSnapshot>,
+    /// Open tasks, oldest (slowest) first, bounded by `max_open`.
+    pub open: Vec<OpenTaskSnapshot>,
+    /// Spans discarded because a ring filled, plus spans beyond
+    /// `max_spans` dropped at snapshot time.
+    pub spans_dropped: u64,
+    /// Task begins discarded because an open table filled.
+    pub open_dropped: u64,
+}
+
+/// Aggregates all shards into a [`TaskTraceReport`].
+///
+/// Runs on any thread; each shard is locked briefly. `max_spans` bounds
+/// the exported completed spans (newest kept), `max_open` bounds the
+/// open-task list (oldest kept — those are the slowest in-flight tasks).
+pub fn snapshot(max_spans: usize, max_open: usize) -> TaskTraceReport {
+    let mut hists: HashMap<(SiteId, &'static str, Phase), Hist> = HashMap::new();
+    let mut spans: Vec<Span> = Vec::new();
+    let mut open: Vec<(u64, SiteId, &'static str, VTime)> = Vec::new();
+    let mut spans_dropped = 0;
+    let mut open_dropped = 0;
+    {
+        let shards = lock_ignoring_poison(registry());
+        for shard in shards.iter() {
+            let s = lock_ignoring_poison(shard);
+            for (key, h) in &s.hists {
+                hists.entry(*key).or_default().merge(h);
+            }
+            spans.extend(s.spans.iter().copied());
+            spans_dropped += s.spans_dropped;
+            open_dropped += s.open_dropped;
+            for ((task, site), o) in &s.open {
+                open.push((*task, SiteId(*site), o.kind, o.begin));
+            }
+        }
+    }
+
+    spans.sort_by_key(|s| (s.begin, s.end, s.task));
+    if spans.len() > max_spans {
+        let excess = spans.len() - max_spans;
+        spans.drain(..excess);
+        spans_dropped += excess as u64;
+    }
+
+    open.sort_by_key(|&(task, _, _, begin)| (begin, task));
+    open.truncate(max_open);
+
+    let mut histograms: Vec<HistogramSnapshot> = hists
+        .into_iter()
+        .map(|((site, kind, phase), h)| HistogramSnapshot {
+            site: site_name(site),
+            kind: kind.to_owned(),
+            phase,
+            count: h.count,
+            sum_ps: h.sum_ps,
+            p50_ps: h.quantile_ps(0.50),
+            p95_ps: h.quantile_ps(0.95),
+            p99_ps: h.quantile_ps(0.99),
+            buckets: h.buckets.to_vec(),
+        })
+        .collect();
+    histograms.sort_by(|a, b| {
+        (&a.site, &a.kind, a.phase.label()).cmp(&(&b.site, &b.kind, b.phase.label()))
+    });
+
+    TaskTraceReport {
+        enabled: is_enabled(),
+        histograms,
+        spans: spans
+            .into_iter()
+            .map(|s| SpanSnapshot {
+                task: s.task,
+                site: site_name(s.site),
+                kind: s.kind.to_owned(),
+                phase: s.phase,
+                begin_ps: s.begin.ps(),
+                end_ps: s.end.ps(),
+            })
+            .collect(),
+        open: open
+            .into_iter()
+            .map(|(task, site, kind, begin)| OpenTaskSnapshot {
+                task,
+                site: site_name(site),
+                kind: kind.to_owned(),
+                begin_ps: begin.ps(),
+            })
+            .collect(),
+        spans_dropped,
+        open_dropped,
+    }
+}
+
+impl TaskTraceReport {
+    /// Converts the completed spans to Chrome/Perfetto `trace_event` JSON
+    /// (the "JSON Array Format" with a `traceEvents` wrapper object).
+    ///
+    /// Each span becomes a complete event (`"ph": "X"`) with `ts`/`dur` in
+    /// microseconds of *virtual* time; sites map to `tid`s (named via
+    /// `thread_name` metadata events) under a single `pid`.
+    pub fn to_chrome_trace(&self) -> serde_json::Value {
+        let mut tids: HashMap<&str, u64> = HashMap::new();
+        let mut events = vec![json!({
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": { "name": "akita-sim (virtual time)" },
+        })];
+        for span in &self.spans {
+            let next = tids.len() as u64 + 1;
+            let tid = *tids.entry(span.site.as_str()).or_insert(next);
+            events.push(json!({
+                "name": (span.kind),
+                "cat": (span.phase.label()),
+                "ph": "X",
+                "ts": (span.begin_ps as f64 / 1e6),
+                "dur": ((span.end_ps.saturating_sub(span.begin_ps)) as f64 / 1e6),
+                "pid": 1,
+                "tid": tid,
+                "args": { "task": (span.task) },
+            }));
+        }
+        let mut names: Vec<(&str, u64)> = tids.into_iter().collect();
+        names.sort_by_key(|&(_, tid)| tid);
+        for (site, tid) in names {
+            events.push(json!({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": { "name": site },
+            }));
+        }
+        json!({ "traceEvents": events, "displayTimeUnit": "ns" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that toggle the global ENABLED flag / reset shards.
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked_clean() -> MutexGuard<'static, ()> {
+        let g = lock_ignoring_poison(&TEST_LOCK);
+        reset();
+        set_enabled(true);
+        g
+    }
+
+    #[test]
+    fn disabled_hooks_record_nothing() {
+        let _g = lock_ignoring_poison(&TEST_LOCK);
+        reset();
+        set_enabled(false);
+        let s = site("x");
+        observe(s, "read", Phase::Queue, VTime::from_ns(1));
+        begin(TaskId::fresh(), s, "read", VTime::ZERO);
+        complete(
+            TaskId::fresh(),
+            s,
+            "read",
+            Phase::Service,
+            VTime::ZERO,
+            VTime::from_ns(1),
+        );
+        let r = snapshot(100, 100);
+        assert!(!r.enabled);
+        assert!(r.histograms.is_empty());
+        assert!(r.spans.is_empty());
+        assert!(r.open.is_empty());
+    }
+
+    #[test]
+    fn complete_closes_open_and_builds_histogram() {
+        let _g = locked_clean();
+        let s = site("ROB");
+        let t = TaskId::fresh();
+        begin(t, s, "read", VTime::from_ns(5));
+        let mid = snapshot(100, 100);
+        assert_eq!(mid.open.len(), 1);
+        assert_eq!(mid.open[0].site, "ROB");
+        complete(
+            t,
+            s,
+            "read",
+            Phase::Service,
+            VTime::from_ns(5),
+            VTime::from_ns(9),
+        );
+        set_enabled(false);
+        let r = snapshot(100, 100);
+        assert!(r.open.is_empty());
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].begin_ps, 5_000);
+        assert_eq!(r.spans[0].end_ps, 9_000);
+        let h = &r.histograms[0];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum_ps, 4_000);
+        assert_eq!(h.kind, "read");
+    }
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_upper_ps(0), 1);
+        assert_eq!(bucket_upper_ps(9), 1023);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let mut h = Hist::default();
+        // 90 fast observations (1 ns = 1000 ps, bucket 9), 10 slow (1 us, bucket 19).
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.quantile_ps(0.50), bucket_upper_ps(9));
+        assert_eq!(h.quantile_ps(0.95), bucket_upper_ps(19));
+        assert_eq!(h.quantile_ps(0.99), bucket_upper_ps(19));
+    }
+
+    #[test]
+    fn span_ring_drops_oldest_and_counts() {
+        let _g = locked_clean();
+        let s = site("ring");
+        for i in 0..(SPAN_RING_CAP + 5) {
+            let t = TaskId::fresh();
+            let at = VTime::from_ps(i as u64);
+            complete(t, s, "read", Phase::Service, at, at);
+        }
+        set_enabled(false);
+        let r = snapshot(usize::MAX, 10);
+        assert_eq!(r.spans.len(), SPAN_RING_CAP);
+        assert_eq!(r.spans_dropped, 5);
+        assert_eq!(r.spans[0].begin_ps, 5, "oldest five were evicted");
+    }
+
+    #[test]
+    fn snapshot_caps_spans_and_open() {
+        let _g = locked_clean();
+        let s = site("cap");
+        for i in 0..10 {
+            let t = TaskId::fresh();
+            begin(t, s, "read", VTime::from_ps(i));
+            let t2 = TaskId::fresh();
+            complete(
+                t2,
+                s,
+                "read",
+                Phase::Service,
+                VTime::from_ps(i),
+                VTime::from_ps(i + 1),
+            );
+        }
+        set_enabled(false);
+        let r = snapshot(4, 3);
+        assert_eq!(r.spans.len(), 4);
+        assert_eq!(r.spans_dropped, 6, "snapshot cap counts as drops");
+        assert_eq!(r.open.len(), 3);
+        assert_eq!(r.open[0].begin_ps, 0, "oldest in-flight kept");
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let _g = locked_clean();
+        let s = site("L2");
+        let t = TaskId::fresh();
+        complete(
+            t,
+            s,
+            "write",
+            Phase::Service,
+            VTime::from_ns(1),
+            VTime::from_ns(3),
+        );
+        set_enabled(false);
+        let v = snapshot(100, 100).to_chrome_trace();
+        let events = v["traceEvents"].as_array().unwrap();
+        let span = events
+            .iter()
+            .find(|e| e["ph"] == "X")
+            .expect("one complete event");
+        assert_eq!(span["name"], "write");
+        assert!(span["ts"].is_number());
+        assert!(span["dur"].is_number());
+        assert!(span["pid"].is_number());
+        assert!(span["tid"].is_number());
+        assert!(events
+            .iter()
+            .any(|e| e["ph"] == "M" && e["name"] == "thread_name" && e["args"]["name"] == "L2"));
+    }
+
+    #[test]
+    fn site_interning_is_stable() {
+        let a = site("same-site");
+        let b = site("same-site");
+        assert_eq!(a, b);
+        assert_eq!(site_name(a), "same-site");
+    }
+
+    #[test]
+    fn report_serializes_round_trip() {
+        let _g = locked_clean();
+        let s = site("ser");
+        complete(
+            TaskId::fresh(),
+            s,
+            "read",
+            Phase::Queue,
+            VTime::ZERO,
+            VTime::from_ns(2),
+        );
+        set_enabled(false);
+        let r = snapshot(10, 10);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TaskTraceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -16,6 +16,12 @@
 //! nonzero if the fast configuration cannot sustain a modest absolute
 //! floor — a CI sanity gate, deliberately far below real throughput so it
 //! never flakes on a loaded machine.
+//!
+//! Both modes additionally measure the task-tracing overhead: the same
+//! fast configuration with [`akita::trace`] enabled. The tracing-disabled
+//! numbers are the headline ones (the disabled check is one relaxed
+//! atomic load); the enabled run quantifies what turning the Latency tab
+//! on costs. In `--smoke` mode the traced run must clear the same floor.
 
 use std::time::Instant;
 
@@ -66,6 +72,17 @@ fn run_chain(tasks: u64, tuning: EngineTuning, reps: u32) -> Measurement {
         let mut sim = build_chain_sim(tasks);
         measure(&mut sim, tuning)
     })
+}
+
+/// Runs `inner` with task tracing enabled, resetting the shards so each
+/// repetition starts from empty rings.
+fn traced(inner: impl FnOnce() -> Measurement) -> Measurement {
+    akita::trace::set_enabled(true);
+    akita::trace::reset();
+    let m = inner();
+    akita::trace::set_enabled(false);
+    akita::trace::reset();
+    m
 }
 
 fn run_gpu(samples: u64, tuning: EngineTuning, reps: u32) -> Measurement {
@@ -132,6 +149,8 @@ fn main() {
     let chain_fast = run_chain(chain_tasks, EngineTuning::fast(), reps);
     let gpu_seed = run_gpu(gpu_samples, EngineTuning::seed(), reps);
     let gpu_fast = run_gpu(gpu_samples, EngineTuning::fast(), reps);
+    let chain_traced = traced(|| run_chain(chain_tasks, EngineTuning::fast(), reps));
+    let gpu_traced = traced(|| run_gpu(gpu_samples, EngineTuning::fast(), reps));
 
     let row = |name: &str, seed: Measurement, fast: Measurement| {
         vec![
@@ -150,6 +169,26 @@ fn main() {
         ],
     );
 
+    let overhead = |off: Measurement, on: Measurement| (off.eps / on.eps - 1.0) * 100.0;
+    println!("\n=== task-tracing overhead (fast engine, tracing off vs on) ===\n");
+    print_table(
+        &["workload", "tracing off", "tracing on", "overhead"],
+        &[
+            vec![
+                "fig4_chain".to_owned(),
+                format!("{}/s", fmt_eps(chain_fast.eps)),
+                format!("{}/s", fmt_eps(chain_traced.eps)),
+                format!("{:+.1}%", overhead(chain_fast, chain_traced)),
+            ],
+            vec![
+                "mcm_gpu_fir".to_owned(),
+                format!("{}/s", fmt_eps(gpu_fast.eps)),
+                format!("{}/s", fmt_eps(gpu_traced.eps)),
+                format!("{:+.1}%", overhead(gpu_fast, gpu_traced)),
+            ],
+        ],
+    );
+
     if smoke {
         println!("\nsmoke mode: floor {}/s", fmt_eps(SMOKE_FLOOR_EPS));
         if chain_fast.eps < SMOKE_FLOOR_EPS || gpu_fast.eps < SMOKE_FLOOR_EPS {
@@ -160,15 +199,35 @@ fn main() {
             );
             std::process::exit(1);
         }
-        println!("OK: fast engine clears the smoke floor");
+        if chain_traced.eps < SMOKE_FLOOR_EPS || gpu_traced.eps < SMOKE_FLOOR_EPS {
+            eprintln!(
+                "FAIL: tracing-enabled engine below smoke floor (chain {}/s, gpu {}/s)",
+                fmt_eps(chain_traced.eps),
+                fmt_eps(gpu_traced.eps)
+            );
+            std::process::exit(1);
+        }
+        println!("OK: fast engine clears the smoke floor with tracing off and on");
         return;
     }
 
+    let tracing_json = |name: &str, off: Measurement, on: Measurement| {
+        json!({
+            "name": name,
+            "tracing_off_eps": (off.eps),
+            "tracing_on_eps": (on.eps),
+            "overhead_percent": (overhead(off, on)),
+        })
+    };
     let doc = json!({
         "bench": "engine_throughput",
         "workloads": [
             (workload_json("fig4_chain", chain_tasks, chain_seed, chain_fast)),
             (workload_json("mcm_gpu_fir", gpu_samples, gpu_seed, gpu_fast)),
+        ],
+        "tracing_overhead": [
+            (tracing_json("fig4_chain", chain_fast, chain_traced)),
+            (tracing_json("mcm_gpu_fir", gpu_fast, gpu_traced)),
         ],
     });
     if let Some(dir) = std::path::Path::new(&out_path).parent() {

@@ -6,6 +6,7 @@
 //! rtm-sim --config machine.json --workload matmul
 //! rtm-sim analyze --chiplets 4            # lint the wiring, then run
 //! rtm-sim analyze --inject-deadlock       # exits nonzero naming the cycle
+//! rtm-sim trace --out trace.json          # task-lifetime Chrome trace
 //! ```
 
 use std::process::exit;
@@ -24,6 +25,7 @@ rtm-sim — run a monitored GPU simulation (AkitaRTM reproduction)
 USAGE:
     rtm-sim [OPTIONS]
     rtm-sim analyze [OPTIONS]
+    rtm-sim trace [OPTIONS]
 
 SUBCOMMANDS:
     analyze                 lint the platform's wiring (unattached ports,
@@ -31,6 +33,9 @@ SUBCOMMANDS:
                             cycles), run the workload, and report any
                             deadlock cycle if the machine hangs; exits
                             nonzero on error-level findings or a deadlock
+    trace                   run the workload with task-lifetime tracing on
+                            and write a Chrome/Perfetto trace-event JSON
+                            file (open in chrome://tracing or ui.perfetto.dev)
 
 OPTIONS:
     --workload <name>       benchmark to run (default: fir)
@@ -52,11 +57,14 @@ OPTIONS:
     --flush                 flush caches between kernels (MGPUSim's model)
     --inject-deadlock       enable the Case Study 2 L2 write-buffer bug
     --json                  (analyze) print the final LintReport as JSON
+    --out <file.json>       (trace) output path (default: trace.json)
     -h, --help              show this help
 ";
 
 struct Args {
     analyze: bool,
+    trace: bool,
+    out: String,
     json: bool,
     engine: akita::EngineTuning,
     workload: String,
@@ -80,6 +88,8 @@ fn die(msg: &str) -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         analyze: false,
+        trace: false,
+        out: "trace.json".into(),
         json: false,
         engine: akita::EngineTuning::fast(),
         workload: "fir".into(),
@@ -102,6 +112,8 @@ fn parse_args() -> Args {
         };
         match arg.as_str() {
             "analyze" => args.analyze = true,
+            "trace" => args.trace = true,
+            "--out" => args.out = value("--out"),
             "--json" => args.json = true,
             "--workload" => args.workload = value("--workload"),
             "--list-workloads" => {
@@ -292,10 +304,57 @@ fn run_analyze(args: &Args) -> ! {
     exit(if report.has_errors() { 4 } else { 0 })
 }
 
+/// The `trace` subcommand: run the workload with task-lifetime tracing on
+/// and dump the spans as Chrome trace-event JSON.
+fn run_trace(args: &Args) -> ! {
+    let workload = by_name(&args.workload).unwrap_or_else(|| {
+        die(&format!(
+            "unknown workload `{}` (try --list-workloads)",
+            args.workload
+        ))
+    });
+    let cfg = build_config(args);
+    let mut platform = Platform::build(cfg);
+    platform.sim.set_tuning(args.engine);
+    workload.enqueue(&mut platform.driver.borrow_mut());
+    platform.start();
+
+    akita::trace::set_enabled(true);
+    let start = std::time::Instant::now();
+    let summary = platform.sim.run();
+    let wall = start.elapsed();
+    akita::trace::set_enabled(false);
+
+    let report = akita::trace::snapshot(akita::trace::SPAN_RING_CAP, 0);
+    let doc = report.to_chrome_trace();
+    std::fs::write(
+        &args.out,
+        serde_json::to_string(&doc).expect("trace serializes"),
+    )
+    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", args.out)));
+    println!(
+        "traced `{}`: {} events in {:.3}s; {} spans ({} dropped) -> {}",
+        args.workload,
+        summary.events,
+        wall.as_secs_f64(),
+        report.spans.len(),
+        report.spans_dropped,
+        args.out
+    );
+    exit(if platform.driver.borrow().finished() {
+        0
+    } else {
+        3
+    })
+}
+
 fn main() {
     let args = parse_args();
     if args.analyze {
         run_analyze(&args);
+    }
+    if args.trace {
+        run_trace(&args);
     }
     let workload = by_name(&args.workload).unwrap_or_else(|| {
         die(&format!(
@@ -317,11 +376,13 @@ fn main() {
     let server = if args.no_monitor {
         None
     } else {
+        let counts = platform.sim.add_hook(akita::EventCountHook::default());
         let monitor = Arc::new(Monitor::attach(
             &platform.sim,
             platform.progress.clone(),
             Duration::from_millis(100),
         ));
+        monitor.set_event_counts(counts.borrow().shared());
         let addr = format!("127.0.0.1:{}", args.port)
             .parse()
             .expect("valid socket address");

@@ -5,7 +5,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use akita::{
-    CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, Port, PortId, Simulation,
+    trace, CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, Port, PortId, Simulation,
+    TaskId, VTime,
 };
 use akita_mem::{DataReadyRsp, ReadReq, WriteDoneRsp, WriteReq};
 
@@ -81,11 +82,14 @@ struct WgExec {
     wavefronts: Vec<WfExec>,
     code_base: u64,
     args_base: u64,
+    task: TaskId,
+    accepted_at: VTime,
 }
 
 /// A compute unit component.
 pub struct ComputeUnit {
     base: CompBase,
+    site: trace::SiteId,
     /// Port into the memory hierarchy (to the ROB's top port).
     pub mem_port: Port,
     /// Port to the shader array's L1I cache (instruction fetch). Only
@@ -110,7 +114,7 @@ pub struct ComputeUnit {
     fetch_outstanding: HashMap<MsgId, (u64, usize)>,
     /// Outstanding scalar loads → (wg, wavefront).
     scalar_outstanding: HashMap<MsgId, (u64, usize)>,
-    done_wgs: Vec<u64>,
+    done_wgs: Vec<(u64, TaskId)>,
     insts_executed: u64,
     mem_accesses: u64,
     ifetches: u64,
@@ -134,6 +138,7 @@ impl ComputeUnit {
         let dispatch_port = Port::new(&reg, format!("{name}.DispatchPort"), cfg.max_wgs.max(2));
         ComputeUnit {
             base: CompBase::new("ComputeUnit", name),
+            site: trace::site(name),
             mem_port,
             ifetch_port,
             scalar_port,
@@ -196,8 +201,9 @@ impl ComputeUnit {
             return false;
         };
         let mut progress = false;
-        while let Some(&wg_idx) = self.done_wgs.first() {
-            let msg = Box::new(WgDoneMsg::new(dst, wg_idx));
+        while let Some(&(wg_idx, task)) = self.done_wgs.first() {
+            let mut msg = Box::new(WgDoneMsg::new(dst, wg_idx));
+            msg.meta.inherit_task(task, "workgroup");
             match self.dispatch_port.send(ctx, msg) {
                 Ok(()) => {
                     self.done_wgs.remove(0);
@@ -339,6 +345,7 @@ impl ComputeUnit {
             };
             let d = akita::downcast_msg::<DispatchWgMsg>(msg)
                 .unwrap_or_else(|_| panic!("CU {}: unexpected dispatch message", self.name()));
+            let task = d.meta.task;
             let DispatchWgMsg {
                 wg_idx,
                 spec,
@@ -346,13 +353,23 @@ impl ComputeUnit {
                 args_base,
                 ..
             } = *d;
-            self.start_wg(wg_idx, spec, code_base, args_base);
+            let now = ctx.now();
+            trace::begin(task, self.site, "workgroup", now);
+            self.start_wg(wg_idx, spec, code_base, args_base, task, now);
             progress = true;
         }
         progress
     }
 
-    fn start_wg(&mut self, wg_idx: u64, spec: WorkGroupSpec, code_base: u64, args_base: u64) {
+    fn start_wg(
+        &mut self,
+        wg_idx: u64,
+        spec: WorkGroupSpec,
+        code_base: u64,
+        args_base: u64,
+        task: TaskId,
+        accepted_at: VTime,
+    ) {
         let frontend = self.cfg.frontend;
         let wavefronts = spec
             .wavefronts
@@ -375,6 +392,8 @@ impl ComputeUnit {
             wavefronts,
             code_base,
             args_base,
+            task,
+            accepted_at,
         });
     }
 
@@ -478,9 +497,19 @@ impl ComputeUnit {
         // Retire finished workgroups.
         let done_wgs = &mut self.done_wgs;
         let completed = &mut self.wgs_completed;
+        let site = self.site;
+        let now = ctx.now();
         self.wgs.retain(|wg| {
             if wg.wavefronts.iter().all(WfExec::is_done) {
-                done_wgs.push(wg.wg_idx);
+                trace::complete(
+                    wg.task,
+                    site,
+                    "workgroup",
+                    trace::Phase::Service,
+                    wg.accepted_at,
+                    now,
+                );
+                done_wgs.push((wg.wg_idx, wg.task));
                 *completed += 1;
                 progress = true;
                 false

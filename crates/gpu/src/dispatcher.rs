@@ -8,8 +8,8 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use akita::{
-    CompBase, Component, ComponentState, Ctx, Msg, MsgExt, Port, PortId, ProgressBarId,
-    ProgressRegistry, Simulation,
+    trace, CompBase, Component, ComponentState, Ctx, Msg, MsgExt, Port, PortId, ProgressBarId,
+    ProgressRegistry, Simulation, TaskId, VTime,
 };
 
 use akita_mem::msg::{FlushDoneRsp, FlushReq};
@@ -49,11 +49,14 @@ struct KernelExec {
     done: u64,
     inflight: u64,
     bar: Option<ProgressBarId>,
+    task: TaskId,
+    started_at: VTime,
 }
 
 /// A kernel dispatcher component.
 pub struct Dispatcher {
     base: CompBase,
+    site: trace::SiteId,
     /// Port to/from all compute units.
     pub cu_port: Port,
     /// Port to/from the driver.
@@ -90,6 +93,7 @@ impl Dispatcher {
         let ctrl_port = Port::new(&reg, format!("{name}.CtrlPort"), 16);
         Dispatcher {
             base: CompBase::new("Dispatcher", name),
+            site: trace::site(name),
             cu_port,
             driver_port,
             ctrl_port,
@@ -169,7 +173,7 @@ impl Dispatcher {
         progress
     }
 
-    fn start_next(&mut self) -> bool {
+    fn start_next(&mut self, ctx: &Ctx) -> bool {
         if self.current.is_some() {
             return false;
         }
@@ -181,6 +185,9 @@ impl Dispatcher {
             .progress
             .as_ref()
             .map(|reg| reg.create_bar(format!("kernel {}", kernel.name()), total));
+        let task = TaskId::fresh();
+        let started_at = ctx.now();
+        trace::begin(task, self.site, "kernel", started_at);
         self.current = Some(KernelExec {
             kernel,
             total,
@@ -188,6 +195,8 @@ impl Dispatcher {
             done: 0,
             inflight: 0,
             bar,
+            task,
+            started_at,
         });
         true
     }
@@ -326,6 +335,14 @@ impl Dispatcher {
         if let (Some(reg), Some(bar)) = (&self.progress, k.bar) {
             reg.update(bar, k.total, 0);
         }
+        trace::complete(
+            k.task,
+            self.site,
+            "kernel",
+            trace::Phase::Service,
+            k.started_at,
+            ctx.now(),
+        );
         self.kernels_completed += 1;
         if let Some(dst) = self.driver_dst {
             let msg: Box<dyn Msg> = Box::new(KernelDoneMsg::new(dst));
@@ -350,7 +367,7 @@ impl Component for Dispatcher {
         let _prof = akita::profile::scope("Dispatcher::tick");
         let mut progress = false;
         progress |= self.accept_launches(ctx);
-        progress |= self.start_next();
+        progress |= self.start_next(ctx);
         progress |= self.collect_completions(ctx);
         progress |= self.dispatch(ctx);
         progress |= self.finish_kernel(ctx);

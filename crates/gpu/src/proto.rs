@@ -20,7 +20,7 @@ impl LaunchKernelMsg {
     /// Creates a launch message addressed to `dst`.
     pub fn new(dst: PortId, kernel: Rc<dyn Kernel>) -> Self {
         LaunchKernelMsg {
-            meta: MsgMeta::new(dst, dst, 64),
+            meta: MsgMeta::new(dst, dst, 64).with_kind("kernel"),
             kernel,
         }
     }
@@ -38,7 +38,7 @@ impl KernelDoneMsg {
     /// Creates a completion message addressed to `dst`.
     pub fn new(dst: PortId) -> Self {
         KernelDoneMsg {
-            meta: MsgMeta::new(dst, dst, 16),
+            meta: MsgMeta::new(dst, dst, 16).with_kind("kernel"),
         }
     }
 }
@@ -63,7 +63,7 @@ impl DispatchWgMsg {
     /// Creates a dispatch message addressed to `dst`.
     pub fn new(dst: PortId, wg_idx: u64, spec: WorkGroupSpec) -> Self {
         DispatchWgMsg {
-            meta: MsgMeta::new(dst, dst, 64),
+            meta: MsgMeta::new(dst, dst, 64).with_kind("workgroup"),
             wg_idx,
             spec,
             code_base: 0x4000_0000,
@@ -93,7 +93,7 @@ impl WgDoneMsg {
     /// Creates a completion message addressed to `dst`.
     pub fn new(dst: PortId, wg_idx: u64) -> Self {
         WgDoneMsg {
-            meta: MsgMeta::new(dst, dst, 16),
+            meta: MsgMeta::new(dst, dst, 16).with_kind("workgroup"),
             wg_idx,
         }
     }

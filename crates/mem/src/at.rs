@@ -14,8 +14,8 @@ use std::rc::Rc;
 use serde::{Deserialize, Serialize};
 
 use akita::{
-    BufferRegistry, CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, Port, PortId,
-    Simulation, VTime,
+    trace, BufferRegistry, CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, Port,
+    PortId, Simulation, TaskId, VTime,
 };
 
 use crate::msg::{as_response, AccessKind, Addr, DataReadyRsp, ReadReq, WriteDoneRsp, WriteReq};
@@ -193,6 +193,8 @@ struct InFlight {
     size: u32,
     up_id: MsgId,
     requester: PortId,
+    task: TaskId,
+    accepted_at: VTime,
 }
 
 /// A request parked while the shared L2 TLB translates its page.
@@ -201,11 +203,25 @@ struct WaitingOnTlb {
     size: u32,
     up_id: MsgId,
     requester: PortId,
+    task: TaskId,
+    accepted_at: VTime,
+}
+
+/// Bookkeeping for a request forwarded downstream, keyed by the
+/// downstream request id.
+struct DownEntry {
+    requester: PortId,
+    up_id: MsgId,
+    kind: AccessKind,
+    size: u32,
+    task: TaskId,
+    accepted_at: VTime,
 }
 
 /// The address-translation stage (L1VAddrTranslator).
 pub struct AddressTranslator {
     base: CompBase,
+    site: trace::SiteId,
     /// Port facing the ROB.
     pub top: Port,
     /// Port facing the L1 cache.
@@ -225,8 +241,8 @@ pub struct AddressTranslator {
     tlb: Tlb,
     cfg: AtConfig,
     pipeline: VecDeque<InFlight>,
-    /// Maps downstream request id → (requester, upstream id, kind, size).
-    down_map: HashMap<MsgId, (PortId, MsgId, AccessKind, u32)>,
+    /// Bookkeeping for forwarded requests, by downstream request id.
+    down_map: HashMap<MsgId, DownEntry>,
     pending_down: Option<Box<dyn Msg>>,
     up_queue: SendQueue,
     translated: u64,
@@ -245,6 +261,7 @@ impl AddressTranslator {
         let up_queue = SendQueue::new(top.clone(), cfg.width.max(4));
         AddressTranslator {
             base: CompBase::new("AddressTranslator", name),
+            site: trace::site(name),
             top,
             bottom,
             tlb_port: None,
@@ -312,17 +329,25 @@ impl AddressTranslator {
             };
             let (respond_to, _) = as_response(&*msg)
                 .unwrap_or_else(|| panic!("AT {}: unexpected message from below", self.name()));
-            let (requester, up_id, kind, size) =
-                self.down_map.remove(&respond_to).unwrap_or_else(|| {
-                    panic!(
-                        "AT {}: response {respond_to} matches no translation",
-                        self.name()
-                    )
-                });
-            let rsp: Box<dyn Msg> = match kind {
-                AccessKind::Read => Box::new(DataReadyRsp::new(requester, up_id, size)),
-                AccessKind::Write => Box::new(WriteDoneRsp::new(requester, up_id)),
+            let d = self.down_map.remove(&respond_to).unwrap_or_else(|| {
+                panic!(
+                    "AT {}: response {respond_to} matches no translation",
+                    self.name()
+                )
+            });
+            let mut rsp: Box<dyn Msg> = match d.kind {
+                AccessKind::Read => Box::new(DataReadyRsp::new(d.requester, d.up_id, d.size)),
+                AccessKind::Write => Box::new(WriteDoneRsp::new(d.requester, d.up_id)),
             };
+            rsp.meta_mut().inherit_task(d.task, d.kind.label());
+            trace::complete(
+                d.task,
+                self.site,
+                d.kind.label(),
+                trace::Phase::Service,
+                d.accepted_at,
+                ctx.now(),
+            );
             self.up_queue.push(rsp);
             progress = true;
         }
@@ -356,13 +381,21 @@ impl AddressTranslator {
                 .as_ref()
                 .unwrap_or_else(|| panic!("AT {}: low module not wired", self.base.name));
             let dst = low.find(head.phys);
-            let down: Box<dyn Msg> = match head.kind {
+            let mut down: Box<dyn Msg> = match head.kind {
                 AccessKind::Read => Box::new(ReadReq::new(dst, head.phys, head.size)),
                 AccessKind::Write => Box::new(WriteReq::new(dst, head.phys, head.size)),
             };
+            down.meta_mut().inherit_task(head.task, head.kind.label());
             self.down_map.insert(
                 down.meta().id,
-                (head.requester, head.up_id, head.kind, head.size),
+                DownEntry {
+                    requester: head.requester,
+                    up_id: head.up_id,
+                    kind: head.kind,
+                    size: head.size,
+                    task: head.task,
+                    accepted_at: head.accepted_at,
+                },
             );
             self.translated += 1;
             if let Err(m) = self.bottom.send(ctx, down) {
@@ -414,6 +447,8 @@ impl AddressTranslator {
                 size: w.size,
                 up_id: w.up_id,
                 requester: w.requester,
+                task: w.task,
+                accepted_at: w.accepted_at,
             });
             progress = true;
         }
@@ -433,14 +468,29 @@ impl AddressTranslator {
             let Some(msg) = self.top.retrieve(ctx) else {
                 break;
             };
-            let (kind, vaddr, size, up_id, requester) =
+            let (kind, vaddr, size, up_id, requester, task) =
                 if let Some(r) = (*msg).downcast_ref::<ReadReq>() {
-                    (AccessKind::Read, r.addr, r.size, r.meta.id, r.meta.src)
+                    (
+                        AccessKind::Read,
+                        r.addr,
+                        r.size,
+                        r.meta.id,
+                        r.meta.src,
+                        r.meta.task,
+                    )
                 } else if let Some(w) = (*msg).downcast_ref::<WriteReq>() {
-                    (AccessKind::Write, w.addr, w.size, w.meta.id, w.meta.src)
+                    (
+                        AccessKind::Write,
+                        w.addr,
+                        w.size,
+                        w.meta.id,
+                        w.meta.src,
+                        w.meta.task,
+                    )
                 } else {
                     panic!("AT {}: unexpected message from above", self.name());
                 };
+            trace::begin(task, self.site, kind.label(), now);
             let vpage = vaddr / self.page_table.page_size();
             let hit = self.tlb.access(vpage);
             if !hit {
@@ -454,6 +504,8 @@ impl AddressTranslator {
                             size,
                             up_id,
                             requester,
+                            task,
+                            accepted_at: now,
                         },
                     );
                     let tlb_port = self
@@ -491,6 +543,8 @@ impl AddressTranslator {
                 size,
                 up_id,
                 requester,
+                task,
+                accepted_at: now,
             });
             progress = true;
         }

@@ -8,7 +8,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 use akita::{
-    CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, Port, PortId, Simulation, VTime,
+    trace, CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, Port, PortId, Simulation,
+    TaskId, VTime,
 };
 
 use crate::addr::{line_of, CACHE_LINE};
@@ -60,11 +61,14 @@ struct HitInFlight {
     up_id: MsgId,
     requester: PortId,
     size: u32,
+    task: TaskId,
+    accepted_at: VTime,
 }
 
 /// A write-through L1 cache component.
 pub struct L1Cache {
     base: CompBase,
+    site: trace::SiteId,
     /// Port facing the address translator.
     pub top: Port,
     /// Port facing the L2 (via switch/RDMA routing).
@@ -99,6 +103,7 @@ impl L1Cache {
         let up_queue = SendQueue::new(top.clone(), cfg.width.max(4));
         L1Cache {
             base: CompBase::new("L1Cache", name),
+            site: trace::site(name),
             top,
             bottom,
             ctrl,
@@ -157,6 +162,7 @@ impl L1Cache {
 
     fn collect_responses(&mut self, ctx: &mut Ctx) -> bool {
         let mut progress = false;
+        let now = ctx.now();
         while self.up_queue.can_push() {
             let Some(msg) = self.bottom.retrieve(ctx) else {
                 break;
@@ -176,21 +182,31 @@ impl L1Cache {
                 // First waiter goes out through the bounded queue checked
                 // above; extras may exceed it, so re-check.
                 for w in waiters.by_ref() {
-                    self.up_queue
-                        .push(Box::new(DataReadyRsp::new(w.requester, w.req_id, w.size)));
+                    let mut rsp = DataReadyRsp::new(w.requester, w.req_id, w.size);
+                    rsp.meta.inherit_task(w.task, "read");
+                    trace::complete(
+                        w.task,
+                        self.site,
+                        "read",
+                        trace::Phase::Service,
+                        w.accepted_at,
+                        now,
+                    );
+                    self.up_queue.push(Box::new(rsp));
                     if !self.up_queue.can_push() {
                         break;
                     }
                 }
                 // Any remaining coalesced waiters answer next tick via the
                 // hit pipeline (the line is resident now).
-                let now = ctx.now();
                 for w in waiters {
                     self.hit_pipeline.push_back(HitInFlight {
                         ready: now + self.base.freq.cycles(self.cfg.hit_latency),
                         up_id: w.req_id,
                         requester: w.requester,
                         size: w.size,
+                        task: w.task,
+                        accepted_at: w.accepted_at,
                     });
                 }
                 progress = true;
@@ -202,8 +218,17 @@ impl L1Cache {
                         wd.respond_to
                     )
                 });
-                self.up_queue
-                    .push(Box::new(WriteDoneRsp::new(w.requester, w.req_id)));
+                let mut rsp = WriteDoneRsp::new(w.requester, w.req_id);
+                rsp.meta.inherit_task(w.task, "write");
+                trace::complete(
+                    w.task,
+                    self.site,
+                    "write",
+                    trace::Phase::Service,
+                    w.accepted_at,
+                    now,
+                );
+                self.up_queue.push(Box::new(rsp));
                 progress = true;
             } else {
                 panic!("L1 {}: unexpected message from below", self.name());
@@ -226,8 +251,17 @@ impl L1Cache {
                 break;
             }
             let h = self.hit_pipeline.pop_front().expect("front checked");
-            self.up_queue
-                .push(Box::new(DataReadyRsp::new(h.requester, h.up_id, h.size)));
+            let mut rsp = DataReadyRsp::new(h.requester, h.up_id, h.size);
+            rsp.meta.inherit_task(h.task, "read");
+            trace::complete(
+                h.task,
+                self.site,
+                "read",
+                trace::Phase::Service,
+                h.accepted_at,
+                now,
+            );
+            self.up_queue.push(Box::new(rsp));
             progress = true;
         }
         progress
@@ -327,16 +361,20 @@ impl L1Cache {
                 Action::ReadHit => {
                     let r = (*msg).downcast_ref::<ReadReq>().expect("peeked read");
                     self.hits += 1;
+                    trace::begin(r.meta.task, self.site, "read", now);
                     self.hit_pipeline.push_back(HitInFlight {
                         ready: now + self.base.freq.cycles(self.cfg.hit_latency),
                         up_id: r.meta.id,
                         requester: r.meta.src,
                         size: r.size,
+                        task: r.meta.task,
+                        accepted_at: now,
                     });
                 }
                 Action::ReadCoalesce => {
                     let r = (*msg).downcast_ref::<ReadReq>().expect("peeked read");
                     self.misses += 1;
+                    trace::begin(r.meta.task, self.site, "read", now);
                     self.mshr
                         .lookup(r.addr)
                         .expect("coalesce checked")
@@ -345,13 +383,17 @@ impl L1Cache {
                             req_id: r.meta.id,
                             requester: r.meta.src,
                             size: r.size,
+                            task: r.meta.task,
+                            accepted_at: now,
                         });
                 }
                 Action::ReadMiss => {
                     let r = (*msg).downcast_ref::<ReadReq>().expect("peeked read");
                     self.misses += 1;
+                    trace::begin(r.meta.task, self.site, "read", now);
                     let line = line_of(r.addr);
-                    let down = ReadReq::new(self.low_find(line), line, CACHE_LINE as u32);
+                    let mut down = ReadReq::new(self.low_find(line), line, CACHE_LINE as u32);
+                    down.meta.inherit_task(r.meta.task, r.meta.task_kind);
                     self.mshr.allocate(
                         r.addr,
                         down.meta.id,
@@ -359,6 +401,8 @@ impl L1Cache {
                             req_id: r.meta.id,
                             requester: r.meta.src,
                             size: r.size,
+                            task: r.meta.task,
+                            accepted_at: now,
                         },
                     );
                     self.pending_down.push_back(Box::new(down));
@@ -366,16 +410,20 @@ impl L1Cache {
                 Action::Write => {
                     let w = (*msg).downcast_ref::<WriteReq>().expect("peeked write");
                     self.write_count += 1;
+                    trace::begin(w.meta.task, self.site, "write", now);
                     // Write-through: update the resident line (stays clean)
                     // and forward the write toward memory.
                     let _present = self.dir.touch(w.addr);
-                    let down = WriteReq::new(self.low_find(w.addr), w.addr, w.size);
+                    let mut down = WriteReq::new(self.low_find(w.addr), w.addr, w.size);
+                    down.meta.inherit_task(w.meta.task, w.meta.task_kind);
                     self.writes.insert(
                         down.meta.id,
                         Waiter {
                             req_id: w.meta.id,
                             requester: w.meta.src,
                             size: w.size,
+                            task: w.meta.task,
+                            accepted_at: now,
                         },
                     );
                     self.pending_down.push_back(Box::new(down));

@@ -9,7 +9,9 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use akita::{CompBase, Component, ComponentState, Ctx, Msg, MsgExt, Port, Simulation, VTime};
+use akita::{
+    trace, CompBase, Component, ComponentState, Ctx, Msg, MsgExt, Port, Simulation, TaskId, VTime,
+};
 
 use crate::msg::{Addr, DataReadyRsp, ReadReq, WriteDoneRsp, WriteReq};
 
@@ -58,6 +60,8 @@ struct Completion {
     ready: VTime,
     seq: u64,
     rsp: Box<dyn Msg>,
+    task: TaskId,
+    accepted_at: VTime,
 }
 
 impl PartialEq for Completion {
@@ -80,6 +84,7 @@ impl Ord for Completion {
 /// A banked DRAM controller component.
 pub struct Dram {
     base: CompBase,
+    site: trace::SiteId,
     /// Port facing the L2 cache.
     pub top: Port,
     cfg: DramConfig,
@@ -109,6 +114,7 @@ impl Dram {
         );
         Dram {
             base: CompBase::new("DRAM", name),
+            site: trace::site(name),
             top,
             banks: vec![Bank::default(); cfg.banks],
             cfg,
@@ -159,6 +165,14 @@ impl Dram {
                 break;
             }
             let c = self.queue.pop().expect("peeked").0;
+            trace::complete(
+                c.task,
+                self.site,
+                c.rsp.meta().task_kind,
+                trace::Phase::Service,
+                c.accepted_at,
+                now,
+            );
             if let Err(msg) = self.top.send(ctx, c.rsp) {
                 self.pending_up = Some(msg);
             }
@@ -174,7 +188,7 @@ impl Dram {
             let Some(msg) = self.top.retrieve(ctx) else {
                 break;
             };
-            let (addr, rsp): (Addr, Box<dyn Msg>) =
+            let (addr, mut rsp): (Addr, Box<dyn Msg>) =
                 if let Some(r) = (*msg).downcast_ref::<ReadReq>() {
                     self.reads += 1;
                     (
@@ -187,6 +201,12 @@ impl Dram {
                 } else {
                     panic!("DRAM {}: unexpected message", self.name());
                 };
+            let (task, kind) = {
+                let m = msg.meta();
+                (m.task, m.task_kind)
+            };
+            rsp.meta_mut().inherit_task(task, kind);
+            trace::begin(task, self.site, kind, now);
             let (bank_idx, row) = self.bank_and_row(addr);
             let bank = &mut self.banks[bank_idx];
             let mut access = self.cfg.latency;
@@ -202,7 +222,13 @@ impl Dram {
             bank.next_free = start + self.cfg.service_interval;
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.queue.push(Reverse(Completion { ready, seq, rsp }));
+            self.queue.push(Reverse(Completion {
+                ready,
+                seq,
+                rsp,
+                task,
+                accepted_at: now,
+            }));
             progress = true;
         }
         progress

@@ -16,7 +16,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 
 use akita::{
-    CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, Port, PortId, Simulation, VTime,
+    trace, CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, Port, PortId, Simulation,
+    TaskId, VTime,
 };
 
 use crate::addr::{line_of, CACHE_LINE};
@@ -85,11 +86,14 @@ struct RspInFlight {
     kind: RspKind,
     up_id: MsgId,
     requester: PortId,
+    task: TaskId,
+    accepted_at: VTime,
 }
 
 /// A write-back L2 cache component.
 pub struct L2Cache {
     base: CompBase,
+    site: trace::SiteId,
     /// Port facing the L1s (via the L1↔L2 switch or RDMA).
     pub top: Port,
     /// Port facing the DRAM controller.
@@ -133,6 +137,7 @@ impl L2Cache {
         // queue itself is internal.
         L2Cache {
             base: CompBase::new("L2Cache", name),
+            site: trace::site(name),
             top,
             bottom,
             ctrl,
@@ -248,12 +253,22 @@ impl L2Cache {
         progress
     }
 
-    fn queue_response(&mut self, now: VTime, kind: RspKind, up_id: MsgId, requester: PortId) {
+    fn queue_response(
+        &mut self,
+        now: VTime,
+        kind: RspKind,
+        up_id: MsgId,
+        requester: PortId,
+        task: TaskId,
+        accepted_at: VTime,
+    ) {
         self.rsp_pipeline.push_back(RspInFlight {
             ready: now + self.base.freq.cycles(self.cfg.hit_latency),
             kind,
             up_id,
             requester,
+            task,
+            accepted_at,
         });
     }
 
@@ -271,10 +286,22 @@ impl L2Cache {
                 break;
             }
             let h = self.rsp_pipeline.pop_front().expect("front checked");
-            let rsp: Box<dyn Msg> = match h.kind {
-                RspKind::Data(size) => Box::new(DataReadyRsp::new(h.requester, h.up_id, size)),
-                RspKind::WriteDone => Box::new(WriteDoneRsp::new(h.requester, h.up_id)),
+            let (mut rsp, label): (Box<dyn Msg>, _) = match h.kind {
+                RspKind::Data(size) => (
+                    Box::new(DataReadyRsp::new(h.requester, h.up_id, size)),
+                    "read",
+                ),
+                RspKind::WriteDone => (Box::new(WriteDoneRsp::new(h.requester, h.up_id)), "write"),
             };
+            rsp.meta_mut().inherit_task(h.task, label);
+            trace::complete(
+                h.task,
+                self.site,
+                label,
+                trace::Phase::Service,
+                h.accepted_at,
+                now,
+            );
             self.up_queue.push(rsp);
             progress = true;
         }
@@ -345,7 +372,14 @@ impl L2Cache {
                     }
                     let now = ctx.now();
                     for w in entry.waiters {
-                        self.queue_response(now, RspKind::Data(w.size), w.req_id, w.requester);
+                        self.queue_response(
+                            now,
+                            RspKind::Data(w.size),
+                            w.req_id,
+                            w.requester,
+                            w.task,
+                            w.accepted_at,
+                        );
                     }
                     progress = true;
                 }
@@ -464,11 +498,20 @@ impl L2Cache {
                 Action::ReadHit => {
                     let r = (*msg).downcast_ref::<ReadReq>().expect("peeked read");
                     self.hits += 1;
-                    self.queue_response(now, RspKind::Data(r.size), r.meta.id, r.meta.src);
+                    trace::begin(r.meta.task, self.site, "read", now);
+                    self.queue_response(
+                        now,
+                        RspKind::Data(r.size),
+                        r.meta.id,
+                        r.meta.src,
+                        r.meta.task,
+                        now,
+                    );
                 }
                 Action::ReadCoalesce => {
                     let r = (*msg).downcast_ref::<ReadReq>().expect("peeked read");
                     self.misses += 1;
+                    trace::begin(r.meta.task, self.site, "read", now);
                     self.mshr
                         .lookup(r.addr)
                         .expect("coalesce checked")
@@ -477,13 +520,17 @@ impl L2Cache {
                             req_id: r.meta.id,
                             requester: r.meta.src,
                             size: r.size,
+                            task: r.meta.task,
+                            accepted_at: now,
                         });
                 }
                 Action::ReadMiss => {
                     let r = (*msg).downcast_ref::<ReadReq>().expect("peeked read");
                     self.misses += 1;
+                    trace::begin(r.meta.task, self.site, "read", now);
                     let line = line_of(r.addr);
-                    let down = ReadReq::new(self.dram(), line, CACHE_LINE as u32);
+                    let mut down = ReadReq::new(self.dram(), line, CACHE_LINE as u32);
+                    down.meta.inherit_task(r.meta.task, r.meta.task_kind);
                     self.mshr.allocate(
                         r.addr,
                         down.meta.id,
@@ -491,6 +538,8 @@ impl L2Cache {
                             req_id: r.meta.id,
                             requester: r.meta.src,
                             size: r.size,
+                            task: r.meta.task,
+                            accepted_at: now,
                         },
                     );
                     self.pending_down.push_back(Box::new(down));
@@ -498,12 +547,21 @@ impl L2Cache {
                 Action::WriteHit => {
                     let w = (*msg).downcast_ref::<WriteReq>().expect("peeked write");
                     self.hits += 1;
+                    trace::begin(w.meta.task, self.site, "write", now);
                     self.dir.mark_dirty(w.addr);
-                    self.queue_response(now, RspKind::WriteDone, w.meta.id, w.meta.src);
+                    self.queue_response(
+                        now,
+                        RspKind::WriteDone,
+                        w.meta.id,
+                        w.meta.src,
+                        w.meta.task,
+                        now,
+                    );
                 }
                 Action::WriteAllocate => {
                     let w = (*msg).downcast_ref::<WriteReq>().expect("peeked write");
                     self.misses += 1;
+                    trace::begin(w.meta.task, self.site, "write", now);
                     // Full-line write allocation: install without fetching.
                     match self.dir.allocate(w.addr) {
                         Victim::Dirty(vaddr) => {
@@ -516,7 +574,14 @@ impl L2Cache {
                         Victim::Clean(_) | Victim::None => {}
                     }
                     self.dir.mark_dirty(w.addr);
-                    self.queue_response(now, RspKind::WriteDone, w.meta.id, w.meta.src);
+                    self.queue_response(
+                        now,
+                        RspKind::WriteDone,
+                        w.meta.id,
+                        w.meta.src,
+                        w.meta.task,
+                        now,
+                    );
                 }
             }
             progress = true;

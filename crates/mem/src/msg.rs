@@ -26,7 +26,7 @@ impl ReadReq {
     /// Creates a read request addressed to `dst`.
     pub fn new(dst: PortId, addr: Addr, size: u32) -> Self {
         // Request messages are small on the wire: header + address.
-        let meta = MsgMeta::new(dst, dst, 24);
+        let meta = MsgMeta::new(dst, dst, 24).with_kind("read");
         ReadReq { meta, addr, size }
     }
 }
@@ -47,7 +47,7 @@ impl WriteReq {
     /// Creates a write request addressed to `dst`. The wire traffic includes
     /// the written bytes.
     pub fn new(dst: PortId, addr: Addr, size: u32) -> Self {
-        let meta = MsgMeta::new(dst, dst, 24 + size);
+        let meta = MsgMeta::new(dst, dst, 24 + size).with_kind("write");
         WriteReq { meta, addr, size }
     }
 }
@@ -67,7 +67,7 @@ impl_msg!(DataReadyRsp);
 impl DataReadyRsp {
     /// Creates a data response to request `respond_to`, addressed to `dst`.
     pub fn new(dst: PortId, respond_to: MsgId, size: u32) -> Self {
-        let meta = MsgMeta::new(dst, dst, 24 + size);
+        let meta = MsgMeta::new(dst, dst, 24 + size).with_kind("read");
         DataReadyRsp {
             meta,
             respond_to,
@@ -90,7 +90,7 @@ impl WriteDoneRsp {
     /// Creates a write acknowledgment to request `respond_to`, addressed to
     /// `dst`.
     pub fn new(dst: PortId, respond_to: MsgId) -> Self {
-        let meta = MsgMeta::new(dst, dst, 24);
+        let meta = MsgMeta::new(dst, dst, 24).with_kind("write");
         WriteDoneRsp { meta, respond_to }
     }
 }
@@ -111,7 +111,7 @@ impl FlushReq {
     /// Creates a flush request addressed to `dst`.
     pub fn new(dst: PortId) -> Self {
         FlushReq {
-            meta: MsgMeta::new(dst, dst, 16),
+            meta: MsgMeta::new(dst, dst, 16).with_kind("flush"),
         }
     }
 }
@@ -130,7 +130,7 @@ impl FlushDoneRsp {
     /// Creates a flush acknowledgment to request `respond_to`.
     pub fn new(dst: PortId, respond_to: MsgId) -> Self {
         FlushDoneRsp {
-            meta: MsgMeta::new(dst, dst, 16),
+            meta: MsgMeta::new(dst, dst, 16).with_kind("flush"),
             respond_to,
         }
     }
@@ -144,6 +144,16 @@ pub enum AccessKind {
     Read,
     /// A write access.
     Write,
+}
+
+impl AccessKind {
+    /// The task-kind label used by [`akita::trace`] histograms.
+    pub const fn label(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        }
+    }
 }
 
 /// Inspects a message as a memory request, if it is one.

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use akita::{MsgId, PortId};
+use akita::{MsgId, PortId, TaskId, VTime};
 
 use crate::addr::line_of;
 use crate::msg::Addr;
@@ -21,6 +21,12 @@ pub struct Waiter {
     pub requester: PortId,
     /// Bytes the upstream request asked for.
     pub size: u32,
+    /// The upstream task, inherited onto the response and closed in the
+    /// trace when the answer goes up.
+    pub task: TaskId,
+    /// When the cache accepted the request (virtual time), for service
+    /// span measurement.
+    pub accepted_at: VTime,
 }
 
 /// One outstanding miss.
@@ -134,6 +140,8 @@ mod tests {
                 akita::Port::new(&reg, "p", 1).id()
             },
             size: 4,
+            task: TaskId::fresh(),
+            accepted_at: VTime::ZERO,
         }
     }
 

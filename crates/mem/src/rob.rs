@@ -11,7 +11,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 use akita::{
-    CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, Port, PortId, Simulation,
+    trace, CompBase, Component, ComponentState, Ctx, Msg, MsgExt, MsgId, Port, PortId, Simulation,
+    TaskId, VTime,
 };
 
 use crate::msg::{as_response, AccessKind, DataReadyRsp, ReadReq, WriteDoneRsp, WriteReq};
@@ -24,6 +25,8 @@ struct RobEntry {
     kind: AccessKind,
     size: u32,
     done: bool,
+    task: TaskId,
+    accepted_at: VTime,
 }
 
 /// Configuration for a [`ReorderBuffer`].
@@ -54,6 +57,7 @@ impl Default for RobConfig {
 /// A reorder buffer component.
 pub struct ReorderBuffer {
     base: CompBase,
+    site: trace::SiteId,
     /// Port facing the compute unit.
     pub top: Port,
     /// Port facing the address translator.
@@ -76,6 +80,7 @@ impl ReorderBuffer {
         let up_queue = SendQueue::new(top.clone(), cfg.width.max(4));
         ReorderBuffer {
             base: CompBase::new("ReorderBuffer", name),
+            site: trace::site(name),
             top,
             bottom,
             bottom_dst: None,
@@ -109,12 +114,21 @@ impl ReorderBuffer {
             match self.entries.front() {
                 Some(e) if e.done => {
                     let e = self.entries.pop_front().expect("front checked");
-                    let rsp: Box<dyn Msg> = match e.kind {
+                    let mut rsp: Box<dyn Msg> = match e.kind {
                         AccessKind::Read => {
                             Box::new(DataReadyRsp::new(e.requester, e.up_id, e.size))
                         }
                         AccessKind::Write => Box::new(WriteDoneRsp::new(e.requester, e.up_id)),
                     };
+                    rsp.meta_mut().inherit_task(e.task, e.kind.label());
+                    trace::complete(
+                        e.task,
+                        self.site,
+                        e.kind.label(),
+                        trace::Phase::Service,
+                        e.accepted_at,
+                        ctx.now(),
+                    );
                     self.up_queue.push(rsp);
                     self.total_retired += 1;
                     progress = true;
@@ -168,7 +182,8 @@ impl ReorderBuffer {
             let down: Box<dyn Msg>;
             let entry;
             if let Some(r) = (*msg).downcast_ref::<ReadReq>() {
-                let d = ReadReq::new(dst, r.addr, r.size);
+                let mut d = ReadReq::new(dst, r.addr, r.size);
+                d.meta.inherit_task(r.meta.task, r.meta.task_kind);
                 entry = RobEntry {
                     up_id: r.meta.id,
                     down_id: d.meta.id,
@@ -176,10 +191,13 @@ impl ReorderBuffer {
                     kind: AccessKind::Read,
                     size: r.size,
                     done: false,
+                    task: r.meta.task,
+                    accepted_at: ctx.now(),
                 };
                 down = Box::new(d);
             } else if let Some(w) = (*msg).downcast_ref::<WriteReq>() {
-                let d = WriteReq::new(dst, w.addr, w.size);
+                let mut d = WriteReq::new(dst, w.addr, w.size);
+                d.meta.inherit_task(w.meta.task, w.meta.task_kind);
                 entry = RobEntry {
                     up_id: w.meta.id,
                     down_id: d.meta.id,
@@ -187,11 +205,14 @@ impl ReorderBuffer {
                     kind: AccessKind::Write,
                     size: w.size,
                     done: false,
+                    task: w.meta.task,
+                    accepted_at: ctx.now(),
                 };
                 down = Box::new(d);
             } else {
                 panic!("ROB {}: unexpected message from above", self.name());
             }
+            trace::begin(entry.task, self.site, entry.kind.label(), entry.accepted_at);
             self.entries.push_back(entry);
             if let Err(m) = self.bottom.send(ctx, down) {
                 self.pending_down = Some(m);

@@ -24,20 +24,26 @@ use serde::{Deserialize, Serialize};
 pub struct AlertId(pub u64);
 
 /// The comparison an alert applies to each sample.
+///
+/// Both directions are **strict**: a sample exactly equal to the threshold
+/// does not advance the streak (and resets one in progress). This is
+/// pinned by test — a rule like "pause when transactions above 1000"
+/// should not trip while the value merely *touches* 1000; write
+/// `threshold: 999.0` (or `999.5`) to include the boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "lowercase")]
 pub enum AlertOp {
-    /// Fires while `value >= threshold`.
-    Gte,
-    /// Fires while `value <= threshold`.
-    Lte,
+    /// Fires while `value > threshold` (strict).
+    Above,
+    /// Fires while `value < threshold` (strict).
+    Below,
 }
 
 impl AlertOp {
     fn holds(self, value: f64, threshold: f64) -> bool {
         match self {
-            AlertOp::Gte => value >= threshold,
-            AlertOp::Lte => value <= threshold,
+            AlertOp::Above => value > threshold,
+            AlertOp::Below => value < threshold,
         }
     }
 }
@@ -248,7 +254,7 @@ mod tests {
     #[test]
     fn fires_after_consecutive_matches_only() {
         let eng = AlertEngine::new();
-        let id = eng.add(rule(AlertOp::Gte, 10.0, 3));
+        let id = eng.add(rule(AlertOp::Above, 10.0, 3));
         assert!(eng.observe(id, VTime::from_ns(1), 12.0).is_none());
         assert!(eng.observe(id, VTime::from_ns(2), 15.0).is_none());
         // Streak broken: counter resets.
@@ -265,17 +271,41 @@ mod tests {
     }
 
     #[test]
-    fn lte_direction_works() {
+    fn below_direction_works() {
         let eng = AlertEngine::new();
-        let id = eng.add(rule(AlertOp::Lte, 1.0, 1));
+        let id = eng.add(rule(AlertOp::Below, 1.0, 1));
         assert!(eng.observe(id, VTime::ZERO, 2.0).is_none());
         assert!(eng.observe(id, VTime::ZERO, 0.5).is_some());
     }
 
     #[test]
+    fn boundary_is_strict_in_both_directions() {
+        let eng = AlertEngine::new();
+        // value == threshold must neither fire nor count toward a streak.
+        let above = eng.add(rule(AlertOp::Above, 10.0, 1));
+        assert!(eng.observe(above, VTime::ZERO, 10.0).is_none());
+        assert_eq!(eng.statuses()[0].streak, 0);
+        assert!(eng
+            .observe(above, VTime::ZERO, 10.0 + f64::EPSILON * 16.0)
+            .is_some());
+
+        let below = eng.add(rule(AlertOp::Below, 10.0, 1));
+        assert!(eng.observe(below, VTime::ZERO, 10.0).is_none());
+        assert!(eng.observe(below, VTime::ZERO, 9.999).is_some());
+
+        // A touch of the threshold mid-streak resets the count.
+        let eng2 = AlertEngine::new();
+        let id = eng2.add(rule(AlertOp::Above, 5.0, 2));
+        assert!(eng2.observe(id, VTime::ZERO, 6.0).is_none());
+        assert!(eng2.observe(id, VTime::ZERO, 5.0).is_none()); // boundary: resets
+        assert!(eng2.observe(id, VTime::ZERO, 6.0).is_none()); // streak restarts at 1
+        assert!(eng2.observe(id, VTime::ZERO, 6.0).is_some());
+    }
+
+    #[test]
     fn remove_and_len() {
         let eng = AlertEngine::new();
-        let id = eng.add(rule(AlertOp::Gte, 1.0, 1));
+        let id = eng.add(rule(AlertOp::Above, 1.0, 1));
         assert_eq!(eng.len(), 1);
         assert!(eng.remove(id));
         assert!(!eng.remove(id));
@@ -285,13 +315,14 @@ mod tests {
 
     #[test]
     fn rules_serialize() {
-        let r = rule(AlertOp::Gte, 1000.0, 20);
+        let r = rule(AlertOp::Above, 1000.0, 20);
         let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains(r#""op":"above""#), "{json}");
         let back: AlertRule = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
         // `pause` defaults to false when omitted.
         let parsed: AlertRule = serde_json::from_str(
-            r#"{"component":"GPU[0].RDMA","field":"transactions","op":"gte","threshold":1000.0,"consecutive":20}"#,
+            r#"{"component":"GPU[0].RDMA","field":"transactions","op":"above","threshold":1000.0,"consecutive":20}"#,
         )
         .unwrap();
         assert!(!parsed.pause);

@@ -56,6 +56,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers appended verbatim after the standard set (e.g.
+    /// `Allow` on a 405).
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -66,6 +69,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: serde_json::to_string(value)
                 .expect("shim serialization is infallible")
                 .into_bytes(),
@@ -77,8 +81,27 @@ impl Response {
         Response {
             status: 200,
             content_type: "text/html; charset=utf-8",
+            headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         }
+    }
+
+    /// A plain-text response with the given status (used by the
+    /// Prometheus scrape endpoint).
+    pub fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// Appends an extra header, builder style.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
     }
 
     fn reason(&self) -> &'static str {
@@ -92,15 +115,26 @@ impl Response {
         }
     }
 
-    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    fn head(&self) -> String {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         );
-        stream.write_all(head.as_bytes())?;
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        head
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        stream.write_all(self.head().as_bytes())?;
         stream.write_all(&self.body)
     }
 }
@@ -296,5 +330,44 @@ mod tests {
         assert_eq!(q[0], ("name".to_string(), "GPU[0]".to_string()));
         assert_eq!(q[1], ("top".to_string(), "5".to_string()));
         assert_eq!(q[2], ("flag".to_string(), String::new()));
+    }
+
+    #[test]
+    fn extra_headers_serialize_before_the_blank_line() {
+        let rsp = Response::json(405, &serde_json::json!({ "error": "nope" }))
+            .with_header("Allow", "GET, POST");
+        let head = rsp.head();
+        assert!(
+            head.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"),
+            "{head}"
+        );
+        assert!(head.contains("\r\nAllow: GET, POST\r\n"), "{head}");
+        assert!(head.ends_with("\r\n\r\n"), "{head}");
+        // Exactly one blank line, at the end of the head.
+        assert_eq!(head.matches("\r\n\r\n").count(), 1, "{head}");
+    }
+
+    #[test]
+    fn wrong_method_on_known_path_is_405_with_allow_end_to_end() {
+        // A handler shaped like the real route table's fallback: the server
+        // plumbing must carry the Allow header through to the wire.
+        let server = HttpServer::serve("127.0.0.1:0".parse().unwrap(), |req: &Request| {
+            match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/known") => Response::text(200, "ok"),
+                (_, "/known") => Response::json(405, &serde_json::json!({ "error": "method" }))
+                    .with_header("Allow", "GET"),
+                _ => Response::json(404, &serde_json::json!({ "error": "path" })),
+            }
+        })
+        .expect("bind");
+        let addr = server.addr();
+        let ok = crate::client::get(addr, "/known").expect("get");
+        assert_eq!(ok.status, 200);
+        let wrong = crate::client::post(addr, "/known", None).expect("post");
+        assert_eq!(wrong.status, 405);
+        let missing = crate::client::get(addr, "/nope").expect("get");
+        assert_eq!(missing.status, 404);
+        let mut server = server;
+        server.stop();
     }
 }

@@ -36,6 +36,7 @@
 mod alerts;
 pub mod client;
 pub mod httpd;
+pub mod metrics;
 mod monitor;
 mod resources;
 mod server;

@@ -27,9 +27,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use akita::{
-    BufferSnapshot, ComponentInfo, ComponentStateDto, EngineStatus, LintReport, ProfileReport,
-    ProgressBarId, ProgressRegistry, ProgressSnapshot, QueryClient, QueryError, RunState,
-    Simulation, TopologyEdge, TraceRecord, VTime,
+    trace, BufferSnapshot, ComponentInfo, ComponentStateDto, EngineStatus, EventCounts, LintReport,
+    ProfileReport, ProgressBarId, ProgressRegistry, ProgressSnapshot, QueryClient, QueryError,
+    RunState, Simulation, TaskTraceReport, TopologyEdge, TraceRecord, VTime,
 };
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +68,9 @@ pub struct Monitor {
     values: Arc<ValueMonitor>,
     alerts: Arc<AlertEngine>,
     rate: Mutex<EventRate>,
+    /// Per-event-kind counters, when the host wired an
+    /// [`akita::EventCountHook`] in via [`Monitor::set_event_counts`].
+    event_counts: Mutex<Option<EventCounts>>,
     /// Dropping this wakes and stops the sampler thread immediately.
     sampler_stop: Option<mpsc::Sender<()>>,
     sampler: Option<JoinHandle<()>>,
@@ -119,6 +122,7 @@ impl Monitor {
             values,
             alerts,
             rate,
+            event_counts: Mutex::new(None),
             sampler_stop: Some(stop_tx),
             sampler: Some(sampler),
         }
@@ -401,6 +405,46 @@ impl Monitor {
     /// Forces one synchronous alert-evaluation pass (deterministic tests).
     pub fn evaluate_alerts_now(&self) -> Vec<crate::FiredAlert> {
         self.alerts.evaluate(&self.client)
+    }
+
+    // --- Task tracing and metrics (akita::trace) --------------------------
+
+    /// Turns message-lifetime task tracing on or off. Unlike the
+    /// event-trace ring ([`Monitor::set_tracing`]), this needs no engine
+    /// round-trip: collection is gated by a process-global flag the
+    /// components check with one relaxed atomic load.
+    pub fn set_task_tracing(&self, on: bool) {
+        trace::set_enabled(on);
+    }
+
+    /// Whether task tracing is currently collecting.
+    pub fn task_tracing(&self) -> bool {
+        trace::is_enabled()
+    }
+
+    /// Aggregates every tracing shard into one report: latency histograms,
+    /// up to `max_spans` completed spans (newest kept), and up to
+    /// `max_open` oldest in-flight tasks (the slowest ones).
+    pub fn task_trace(&self, max_spans: usize, max_open: usize) -> TaskTraceReport {
+        trace::snapshot(max_spans, max_open)
+    }
+
+    /// Wires an [`akita::EventCountHook`]'s shared handle in, so
+    /// `/api/metrics` can export per-event-kind counters.
+    pub fn set_event_counts(&self, counts: EventCounts) {
+        *self
+            .event_counts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(counts);
+    }
+
+    /// Per-event-kind counts, when a hook was wired in; sorted by kind.
+    pub fn event_counts(&self) -> Option<Vec<(String, u64)>> {
+        self.event_counts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+            .map(EventCounts::all)
     }
 
     /// The underlying query client (for advanced integrations).

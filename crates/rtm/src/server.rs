@@ -21,6 +21,7 @@ use akita::QueryError;
 
 use crate::alerts::{AlertId, AlertRule};
 use crate::httpd::{HttpServer, Request, Response};
+use crate::metrics;
 use crate::monitor::{BufferSort, Monitor};
 use crate::timeseries::WatchId;
 
@@ -150,6 +151,71 @@ where
     }
 }
 
+/// The methods a known path accepts, for `405 Method Not Allowed`
+/// responses (with an `Allow` header) instead of a misleading 404.
+fn allowed_methods(path: &str) -> Option<&'static str> {
+    let exact = match path {
+        "/" | "/api/now" | "/api/status" | "/api/components" | "/api/component"
+        | "/api/buffers" | "/api/progress" | "/api/resources" | "/api/analysis"
+        | "/api/topology" | "/api/trace" | "/api/trace/export" | "/api/alerts" | "/api/watches"
+        | "/api/metrics" | "/api/tasktrace" => Some("GET"),
+        "/api/profile" => Some("GET"),
+        "/api/profile/enable"
+        | "/api/pause"
+        | "/api/continue"
+        | "/api/kickstart"
+        | "/api/terminate"
+        | "/api/tick"
+        | "/api/trace/enable"
+        | "/api/tasktrace/enable"
+        | "/api/schedule"
+        | "/api/alert"
+        | "/api/watch" => Some("POST"),
+        _ => None,
+    };
+    if exact.is_some() {
+        return exact;
+    }
+    if path
+        .strip_prefix("/api/alert/")
+        .is_some_and(|r| !r.is_empty())
+    {
+        return Some("DELETE");
+    }
+    if path
+        .strip_prefix("/api/watch/")
+        .is_some_and(|r| !r.is_empty())
+    {
+        return Some("GET, DELETE");
+    }
+    None
+}
+
+fn api_task_trace(m: &Monitor, req: &Request) -> Response {
+    let max_spans = req
+        .query_param("spans")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(1000);
+    let max_open = req
+        .query_param("open")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(50);
+    ok_json(&m.task_trace(max_spans, max_open))
+}
+
+fn api_trace_export(m: &Monitor, req: &Request) -> Response {
+    match req.query_param("format").unwrap_or("chrome") {
+        "chrome" => {
+            let max_spans = req
+                .query_param("spans")
+                .and_then(|t| t.parse().ok())
+                .unwrap_or(akita::trace::SPAN_RING_CAP);
+            ok_json(&m.task_trace(max_spans, 0).to_chrome_trace())
+        }
+        other => bad_request(&format!("unsupported trace format `{other}`")),
+    }
+}
+
 /// Routes one request. Exposed for in-process testing.
 #[must_use]
 pub fn route(m: &Monitor, req: &Request) -> Response {
@@ -217,6 +283,16 @@ pub fn route(m: &Monitor, req: &Request) -> Response {
             },
             Err(e) => bad_request(&e),
         },
+        ("GET", "/api/metrics") => Response::text(200, &metrics::render(m)),
+        ("GET", "/api/tasktrace") => api_task_trace(m, req),
+        ("GET", "/api/trace/export") => api_trace_export(m, req),
+        ("POST", "/api/tasktrace/enable") => match req.json_body::<EnableBody>() {
+            Ok(body) => {
+                m.set_task_tracing(body.enabled);
+                ok_json(&json!({ "ok": true, "enabled": (body.enabled) }))
+            }
+            Err(e) => bad_request(&e),
+        },
         ("POST", "/api/schedule") => with_name(req, |name| {
             let Some(code) = req.query_param("code").and_then(|c| c.parse().ok()) else {
                 return bad_request("missing or invalid `code` query parameter");
@@ -260,7 +336,16 @@ pub fn route(m: &Monitor, req: &Request) -> Response {
                 Err(_) => bad_request("watch id must be an integer"),
             }
         }
-        (_, path) => not_found(&format!("no route for {path}")),
+        (method, path) => match allowed_methods(path) {
+            // A known path with the wrong verb is a 405 with `Allow`, not
+            // a 404 — the path exists, the method is the problem.
+            Some(allow) => Response::json(
+                405,
+                &json!({ "error": (format!("{method} not allowed for {path}")) }),
+            )
+            .with_header("Allow", allow),
+            None => not_found(&format!("no route for {path}")),
+        },
     }
 }
 

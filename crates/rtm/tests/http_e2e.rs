@@ -521,7 +521,7 @@ fn alert_auto_pauses_a_problematic_simulation() {
         .unwrap()
         .to_owned();
     let body = format!(
-        r#"{{"component":"{l1}","field":"transactions","op":"gte","threshold":1.0,"consecutive":1,"pause":true}}"#
+        r#"{{"component":"{l1}","field":"transactions","op":"above","threshold":0.5,"consecutive":1,"pause":true}}"#
     );
     let created = client::post(rig.addr, "/api/alert", Some(&body)).expect("alert");
     assert!(created.is_ok(), "alert: {}", created.body);

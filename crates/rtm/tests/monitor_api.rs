@@ -155,7 +155,7 @@ fn alerts_fire_and_pause_through_the_monitor_api() {
     let id = monitor.add_alert(AlertRule {
         component: "C0".into(),
         field: "n".into(),
-        op: AlertOp::Gte,
+        op: AlertOp::Above,
         threshold: 10.0,
         consecutive: 2,
         pause: true,

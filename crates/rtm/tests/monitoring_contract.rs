@@ -1,0 +1,326 @@
+//! Monitoring-contract tests: the observability surface a scraper or a
+//! trace viewer relies on — the Prometheus text shape of `/api/metrics`,
+//! the Chrome trace-event shape of `/api/trace/export`, the task-latency
+//! histograms for the whole memory hierarchy, and the [`ValueMonitor`]
+//! sampling contract mid-run vs. paused. All HTTP traffic goes through
+//! the in-process blocking [`client`], so CI needs no curl.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use akita_gpu::{GpuConfig, Platform, PlatformConfig};
+use akita_rtm::{client, Monitor, RtmServer, ValueMonitor, MAX_POINTS};
+use akita_workloads::{Fir, Workload};
+
+struct Rig {
+    addr: SocketAddr,
+    server: RtmServer,
+    sim_thread: thread::JoinHandle<akita::RunSummary>,
+}
+
+/// Builds a monitored FIR simulation on its own thread (the platform is
+/// deliberately `!Send`), with an [`akita::EventCountHook`] wired into the
+/// monitor so `/api/metrics` exposes per-kind event counts.
+fn launch(samples: u64) -> Rig {
+    let cfg = PlatformConfig {
+        gpu: GpuConfig::scaled(4),
+        ..PlatformConfig::default()
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let sim_thread = thread::spawn(move || {
+        let mut platform = Platform::build(cfg);
+        let fir = Fir {
+            num_samples: samples,
+            ..Fir::default()
+        };
+        fir.enqueue(&mut platform.driver.borrow_mut());
+        platform.start();
+        let counts = platform.sim.add_hook(akita::EventCountHook::default());
+        let monitor = Arc::new(Monitor::attach(
+            &platform.sim,
+            platform.progress.clone(),
+            Duration::from_millis(10),
+        ));
+        monitor.set_event_counts(counts.borrow().shared());
+        let server = RtmServer::start_local(monitor).expect("bind server");
+        tx.send(server).expect("hand server to test thread");
+        platform.sim.run_interactive()
+    });
+    let server = rx.recv().expect("server handle");
+    Rig {
+        addr: server.addr(),
+        server,
+        sim_thread,
+    }
+}
+
+fn wait_for_state(addr: SocketAddr, state: &str, timeout: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if let Ok(r) = client::get(addr, "/api/now") {
+            if r.json().is_ok_and(|j| j["state"] == state) {
+                return true;
+            }
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+fn terminate(rig: Rig) -> akita::RunSummary {
+    let _ = client::post(rig.addr, "/api/terminate", None);
+    let summary = rig.sim_thread.join().expect("sim thread");
+    rig.server.stop();
+    summary
+}
+
+/// Asserts `body` is well-formed Prometheus text exposition: every line is
+/// a `# HELP`/`# TYPE` comment or a `name{labels} value` sample whose
+/// value parses as a float.
+fn assert_prometheus_shape(body: &str) {
+    assert!(!body.is_empty());
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                "bad comment line: {line}"
+            );
+        } else {
+            assert!(line.starts_with("akita_"), "unprefixed sample: {line}");
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "sample value does not parse: {line}"
+            );
+        }
+    }
+}
+
+/// The value of the first sample named `name` (exact match before `{` or
+/// space) in a Prometheus body.
+fn sample_value(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find(|l| l.split(['{', ' ']).next().is_some_and(|n| n == name))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn task_latency_histograms_surface_through_metrics_and_chrome_export() {
+    let rig = launch(60_000);
+
+    // Tracing starts disabled: the scrape says so and carries no histograms.
+    let cold = client::get(rig.addr, "/api/metrics").expect("metrics");
+    assert!(cold.is_ok(), "metrics: {}", cold.body);
+    assert_prometheus_shape(&cold.body);
+    assert_eq!(sample_value(&cold.body, "akita_tracing_enabled"), Some(0.0));
+
+    // Enable task tracing and run the workload to completion.
+    let on = client::post(
+        rig.addr,
+        "/api/tasktrace/enable",
+        Some(r#"{"enabled":true}"#),
+    )
+    .expect("enable tasktrace");
+    assert!(on.is_ok(), "enable: {}", on.body);
+    assert!(
+        wait_for_state(rig.addr, "Idle", Duration::from_secs(120)),
+        "FIR never finished"
+    );
+
+    // /api/metrics: valid Prometheus text with latency histograms for the
+    // whole memory hierarchy — ROB, L1V cache, L2, and DRAM.
+    let metrics = client::get(rig.addr, "/api/metrics").expect("metrics");
+    assert!(metrics.is_ok());
+    assert_prometheus_shape(&metrics.body);
+    assert_eq!(
+        sample_value(&metrics.body, "akita_tracing_enabled"),
+        Some(1.0)
+    );
+    assert!(sample_value(&metrics.body, "akita_events_total").unwrap() > 0.0);
+    assert!(
+        metrics.body.contains("akita_events_by_kind_total{kind="),
+        "EventCountHook counts must surface:\n{}",
+        &metrics.body[..metrics.body.len().min(2000)]
+    );
+    for site in ["L1VROB[", "L1VCache[", "L2[", "DRAM"] {
+        let quantiles: Vec<&str> = metrics
+            .body
+            .lines()
+            .filter(|l| l.starts_with("akita_task_latency_quantile_seconds{"))
+            .filter(|l| l.contains(site))
+            .collect();
+        assert!(
+            quantiles.iter().any(|l| l.contains("q=\"0.5\"")),
+            "missing p50 for {site}"
+        );
+        assert!(
+            quantiles.iter().any(|l| l.contains("q=\"0.95\"")),
+            "missing p95 for {site}"
+        );
+        assert!(
+            quantiles.iter().any(|l| l.contains("q=\"0.99\"")),
+            "missing p99 for {site}"
+        );
+        assert!(
+            metrics
+                .body
+                .lines()
+                .any(|l| l.starts_with("akita_task_latency_seconds_bucket{")
+                    && l.contains(site)
+                    && l.contains("le=\"+Inf\"")),
+            "missing +Inf bucket for {site}"
+        );
+    }
+
+    // /api/tasktrace: quantiles are ordered within every histogram.
+    let report = client::get(rig.addr, "/api/tasktrace?spans=100&open=10")
+        .expect("tasktrace")
+        .json()
+        .unwrap();
+    let hists = report["histograms"].as_array().unwrap();
+    assert!(!hists.is_empty());
+    for h in hists {
+        let p50 = h["p50_ps"].as_u64().unwrap();
+        let p95 = h["p95_ps"].as_u64().unwrap();
+        let p99 = h["p99_ps"].as_u64().unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "quantiles out of order: {h}");
+        assert!(h["count"].as_u64().unwrap() > 0);
+    }
+
+    // /api/trace/export: Chrome trace-event JSON — complete events carry
+    // ph/ts/dur/pid/tid and virtual-time timestamps.
+    let export = client::get(rig.addr, "/api/trace/export?format=chrome").expect("export");
+    assert!(export.is_ok(), "export: {}", export.body);
+    let doc = export.json().unwrap();
+    assert_eq!(doc["displayTimeUnit"], "ns");
+    let events = doc["traceEvents"].as_array().unwrap();
+    let complete: Vec<_> = events.iter().filter(|e| e["ph"] == "X").collect();
+    assert!(!complete.is_empty(), "no complete spans exported");
+    for e in &complete {
+        assert!(e["name"].is_string(), "span without name: {e}");
+        assert!(e["ts"].is_number(), "span without ts: {e}");
+        assert!(e["dur"].is_number(), "span without dur: {e}");
+        assert!(e["pid"].is_u64(), "span without pid: {e}");
+        assert!(e["tid"].is_u64(), "span without tid: {e}");
+    }
+
+    // Unknown export formats are a 400, not a silent default.
+    let bad = client::get(rig.addr, "/api/trace/export?format=perfetto-binary").unwrap();
+    assert_eq!(bad.status, 400);
+
+    // Disable and clear so concurrent tests see a quiet tracer.
+    client::post(
+        rig.addr,
+        "/api/tasktrace/enable",
+        Some(r#"{"enabled":false}"#),
+    )
+    .expect("disable tasktrace");
+    terminate(rig);
+    akita::trace::reset();
+}
+
+#[test]
+fn value_monitor_ring_evicts_oldest_beyond_capacity() {
+    let vm = ValueMonitor::new();
+    let id = vm.watch("c", "f");
+    for i in 0..(MAX_POINTS as u64 + 50) {
+        vm.record(id, akita::VTime::from_ns(i), i as f64);
+    }
+    let s = vm.series(id).unwrap();
+    assert_eq!(s.points.len(), MAX_POINTS, "ring must cap at MAX_POINTS");
+    assert_eq!(s.points[0].value, 50.0, "oldest 50 evicted");
+    assert_eq!(
+        s.points.last().unwrap().value,
+        (MAX_POINTS as u64 + 49) as f64
+    );
+    // Retained points stay in arrival order.
+    assert!(s.points.windows(2).all(|w| w[0].sim_time <= w[1].sim_time));
+}
+
+#[test]
+fn sampling_runs_while_paused_but_virtual_time_freezes() {
+    let rig = launch(600_000);
+    let comps = client::get(rig.addr, "/api/components")
+        .unwrap()
+        .json()
+        .unwrap();
+    let l1 = comps
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|c| c["name"].as_str().unwrap())
+        .find(|n| n.contains("L1VCache"))
+        .unwrap()
+        .to_owned();
+    let body = format!(r#"{{"component":"{l1}","field":"transactions"}}"#);
+    let id = client::post(rig.addr, "/api/watch", Some(&body))
+        .expect("watch")
+        .json()
+        .unwrap()["id"]
+        .as_u64()
+        .unwrap();
+
+    // Mid-run: the 10 ms sampler collects points at advancing sim times.
+    thread::sleep(Duration::from_millis(150));
+    let running = client::get(rig.addr, &format!("/api/watch/{id}"))
+        .unwrap()
+        .json()
+        .unwrap();
+    let running_pts = running["points"].as_array().unwrap();
+    assert!(running_pts.len() >= 3, "sampler idle mid-run: {running}");
+
+    // Paused: sampling continues (the series keeps growing) but every new
+    // point carries the frozen virtual time.
+    client::post(rig.addr, "/api/pause", None).expect("pause");
+    assert!(
+        wait_for_state(rig.addr, "Paused", Duration::from_secs(10)),
+        "engine never paused"
+    );
+    let frozen = client::get(rig.addr, "/api/now").unwrap().json().unwrap()["now_ps"]
+        .as_u64()
+        .unwrap();
+    let n_at_pause = client::get(rig.addr, &format!("/api/watch/{id}"))
+        .unwrap()
+        .json()
+        .unwrap()["points"]
+        .as_array()
+        .unwrap()
+        .len();
+    thread::sleep(Duration::from_millis(150));
+    let paused = client::get(rig.addr, &format!("/api/watch/{id}"))
+        .unwrap()
+        .json()
+        .unwrap();
+    let paused_pts = paused["points"].as_array().unwrap();
+    assert!(
+        paused_pts.len() > n_at_pause,
+        "sampler must keep running while paused"
+    );
+    for p in &paused_pts[n_at_pause..] {
+        assert_eq!(
+            p["sim_time"].as_u64().unwrap(),
+            frozen,
+            "paused samples must carry the frozen virtual time: {p}"
+        );
+    }
+
+    // Resumed: virtual time moves again.
+    client::post(rig.addr, "/api/continue", None).expect("continue");
+    thread::sleep(Duration::from_millis(200));
+    let resumed = client::get(rig.addr, &format!("/api/watch/{id}"))
+        .unwrap()
+        .json()
+        .unwrap();
+    let last = resumed["points"].as_array().unwrap().last().unwrap()["sim_time"]
+        .as_u64()
+        .unwrap();
+    assert!(last >= frozen, "virtual time went backwards");
+    terminate(rig);
+}

@@ -14,12 +14,32 @@ echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> cargo test"
+# Includes the curl-free HTTP e2e suites (tests/http_e2e.rs,
+# tests/monitoring_contract.rs): a real server on a real socket driven by
+# the in-process blocking client — no external tools needed.
 cargo test --offline --workspace -q
 
 echo "==> cargo bench --no-run (benches compile)"
 cargo bench --offline --workspace --no-run
 
-echo "==> engine throughput smoke (sanity floor, not a perf gate)"
+echo "==> engine throughput smoke (sanity floor + tracing on/off overhead)"
 cargo run --offline --release -q -p rtm-bench --bin bench_engine -- --smoke
+
+echo "==> chrome trace export shape (rtm-sim trace)"
+trace_out="$(mktemp -d)/trace.json"
+cargo run --offline --release -q -p akita-rtm-cli --bin rtm-sim -- \
+    trace --workload fir --out "$trace_out"
+python3 - "$trace_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "no complete spans in the export"
+for e in spans:
+    for key in ("name", "ts", "dur", "pid", "tid"):
+        assert key in e, f"span missing {key}: {e}"
+print(f"trace export OK: {len(spans)} spans")
+EOF
+rm -rf "$(dirname "$trace_out")"
 
 echo "==> OK"
