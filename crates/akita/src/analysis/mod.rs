@@ -61,7 +61,26 @@ impl Simulation {
                 ),
             });
         }
-        let deadlock = cycles::runtime_analysis(&graph);
+        let mut deadlock = cycles::runtime_analysis(&graph);
+        // Name any injected stuck-full fault sites: when a quiesce was
+        // *provoked* (akita::faults), the report should say so instead of
+        // presenting the hang as an organic deadlock.
+        self.fault_hub().set_now_ps(graph.now.ps());
+        for site in self.fault_hub().active_stuck_sites() {
+            findings.push(LintFinding {
+                severity: Severity::Warning,
+                code: "fault-injected-stuck-full".to_owned(),
+                subject: site.clone(),
+                detail: format!(
+                    "buffer {site} is held full by an injected stuck-full fault \
+                     window; backpressure observed behind it is fault-induced"
+                ),
+            });
+            deadlock.suspects.push(Suspect {
+                component: site,
+                reason: "injected stuck-full fault window is active here".to_owned(),
+            });
+        }
         // Most severe first; stable sort keeps check order within a level.
         findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
         LintReport {

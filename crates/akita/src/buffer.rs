@@ -14,6 +14,7 @@ use std::rc::{Rc, Weak};
 
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{FaultHub, FaultSite};
 use crate::port::{PortProbe, PortSnapshot};
 
 /// Anything that can report a fill level: the registry's view of a buffer.
@@ -27,6 +28,18 @@ struct BufInner<T> {
     name: String,
     capacity: usize,
     items: VecDeque<T>,
+    /// Stuck-full fault hook; `None` for unregistered scratch buffers, and
+    /// a dead branch (one `Cell` load) while no fault plan is armed.
+    fsite: Option<FaultSite>,
+}
+
+impl<T> BufInner<T> {
+    fn forced_full(&self) -> bool {
+        match &self.fsite {
+            Some(site) => site.armed() && site.forced_full(),
+            None => false,
+        }
+    }
 }
 
 impl<T> BufferProbe for RefCell<BufInner<T>> {
@@ -79,10 +92,13 @@ impl<T: 'static> Buffer<T> {
     /// Panics if `capacity` is zero.
     pub fn new(registry: &BufferRegistry, name: impl Into<String>, capacity: usize) -> Self {
         assert!(capacity > 0, "buffer capacity must be positive");
+        let name = name.into();
+        let fsite = Some(registry.faults.site(&name));
         let inner = Rc::new(RefCell::new(BufInner {
-            name: name.into(),
+            name,
             capacity,
             items: VecDeque::with_capacity(capacity.min(64)),
+            fsite,
         }));
         registry.register(&(Rc::clone(&inner) as Rc<dyn BufferProbe>));
         Buffer { inner }
@@ -97,16 +113,18 @@ impl<T: 'static> Buffer<T> {
                 name: name.into(),
                 capacity,
                 items: VecDeque::new(),
+                fsite: None,
             })),
         }
     }
 }
 
 impl<T> Buffer<T> {
-    /// Appends an item, or returns it back when the buffer is full.
+    /// Appends an item, or returns it back when the buffer is full (or an
+    /// injected stuck-full fault window is holding it full).
     pub fn push(&self, item: T) -> Result<(), T> {
         let mut inner = self.inner.borrow_mut();
-        if inner.items.len() >= inner.capacity {
+        if inner.items.len() >= inner.capacity || inner.forced_full() {
             Err(item)
         } else {
             inner.items.push_back(item);
@@ -147,10 +165,11 @@ impl<T> Buffer<T> {
         self.len() == 0
     }
 
-    /// Whether the buffer is at capacity.
+    /// Whether the buffer is at capacity (or held full by an injected
+    /// stuck-full fault window).
     pub fn is_full(&self) -> bool {
         let inner = self.inner.borrow();
-        inner.items.len() >= inner.capacity
+        inner.items.len() >= inner.capacity || inner.forced_full()
     }
 
     /// Maximum number of items the buffer can hold.
@@ -158,9 +177,13 @@ impl<T> Buffer<T> {
         self.inner.borrow().capacity
     }
 
-    /// Free slots remaining.
+    /// Free slots remaining (zero while a stuck-full fault holds the
+    /// buffer full).
     pub fn free(&self) -> usize {
         let inner = self.inner.borrow();
+        if inner.forced_full() {
+            return 0;
+        }
         inner.capacity - inner.items.len()
     }
 
@@ -223,12 +246,22 @@ pub struct BufferRegistry {
     /// already threaded through all port constructors, so it doubles as
     /// the port registry.
     ports: Rc<RefCell<Vec<Weak<dyn PortProbe>>>>,
+    /// The simulation's fault-injection hub. Riding on the registry means
+    /// every port and buffer picks up its injection site at construction
+    /// with no extra plumbing.
+    pub(crate) faults: FaultHub,
 }
 
 impl BufferRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The fault-injection hub shared by everything built against this
+    /// registry.
+    pub fn faults(&self) -> &FaultHub {
+        &self.faults
     }
 
     fn register(&self, probe: &Rc<dyn BufferProbe>) {

@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use crate::component::{CompBase, Component};
 use crate::engine::Ctx;
+use crate::faults::MsgVerdict;
 use crate::ids::{ComponentId, PortId};
 use crate::msg::Msg;
 use crate::port::Port;
@@ -284,6 +285,7 @@ impl Connection for DirectConnection {
     fn push_msg(&mut self, ctx: &mut Ctx, mut msg: Box<dyn Msg>) -> Result<(), SendError> {
         let dst = msg.meta().dst;
         let now = ctx.now();
+        let mut verdict = MsgVerdict::Pass;
         {
             let Some(link) = self.links.get_mut(&dst) else {
                 return Err(SendError::NotAttached {
@@ -297,11 +299,50 @@ impl Connection for DirectConnection {
                 link.blocked_senders.push(ctx.current());
                 return Err(SendError::Busy(msg));
             }
+            if link.port.fault_site().armed() {
+                verdict = link.port.fault_site().msg_verdict();
+            }
+        }
+        if verdict == MsgVerdict::Drop {
+            // Consumed before entering the wire: the sender believes the
+            // send succeeded, the destination never hears about it.
+            return Ok(());
         }
         msg.meta_mut().send_time = now;
-        let arrive = self.arrival_time(now, dst, msg.meta().traffic_bytes);
+        let mut arrive = self.arrival_time(now, dst, msg.meta().traffic_bytes);
+        if let MsgVerdict::Delay(extra_ps) = verdict {
+            arrive += VTime::from_ps(extra_ps);
+        }
+        let duplicate = if verdict == MsgVerdict::Duplicate {
+            // Messages that do not opt into clone_msg pass through intact.
+            msg.clone_msg()
+        } else {
+            None
+        };
         let link = self.links.get_mut(&dst).expect("checked above");
-        link.queue.push_back(InFlight { arrive, msg });
+        if verdict == MsgVerdict::Reorder && !link.queue.is_empty() {
+            // Jump the queue: this message swaps position — and arrival
+            // time, keeping per-link delivery times monotonic — with the
+            // previously queued one.
+            let idx = link.queue.len() - 1;
+            let prev_arrive = link.queue[idx].arrive;
+            link.queue[idx].arrive = arrive;
+            link.queue.insert(
+                idx,
+                InFlight {
+                    arrive: prev_arrive,
+                    msg,
+                },
+            );
+        } else {
+            link.queue.push_back(InFlight { arrive, msg });
+        }
+        if let Some(mut copy) = duplicate {
+            if link.queue.len() < link.cap {
+                copy.meta_mut().send_time = now;
+                link.queue.push_back(InFlight { arrive, msg: copy });
+            }
+        }
         let id = self.base.id;
         ctx.schedule_tick(id, arrive);
         Ok(())

@@ -34,7 +34,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
@@ -43,13 +43,14 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use crate::buffer::BufferRegistry;
 use crate::component::Component;
 use crate::conn::Connection;
+use crate::faults::{CompFaultSpec, FaultHub, FaultInstallSummary, FaultPlan, FaultReport};
 use crate::hook::Hook;
 use crate::ids::ComponentId;
 use crate::port::Port;
 use crate::profile;
 use crate::query::{
-    ComponentInfo, ComponentStateDto, EngineStatus, QueryClient, SimQuery, TopologyEdge,
-    TraceRecord,
+    ActivityStamp, ComponentInfo, ComponentStateDto, EngineStatus, QueryClient, SimQuery,
+    TopologyEdge, TraceRecord,
 };
 use crate::queue::{EventKind, EventQueue};
 use crate::time::VTime;
@@ -218,6 +219,10 @@ pub enum RunState {
     Idle = 2,
     /// The run loop returned.
     Finished = 3,
+    /// A component handler panicked under [`Simulation::run_caught`]; the
+    /// engine may keep serving post-mortem queries
+    /// ([`Simulation::serve_post_mortem`]).
+    Crashed = 4,
 }
 
 impl RunState {
@@ -226,9 +231,24 @@ impl RunState {
             0 => RunState::Running,
             1 => RunState::Paused,
             2 => RunState::Idle,
+            4 => RunState::Crashed,
             _ => RunState::Finished,
         }
     }
+}
+
+/// What went wrong when a handler panicked, preserved for post-mortem
+/// monitoring (`GET /api/status` keeps answering after a crash).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashInfo {
+    /// The panic payload, when it was a string.
+    pub message: String,
+    /// Name of the component whose handler panicked.
+    pub component: String,
+    /// Virtual time of the fatal event.
+    pub now: VTime,
+    /// Events dispatched before the crash.
+    pub events: u64,
 }
 
 /// Lock-free state shared between the simulation thread and monitor thread.
@@ -246,6 +266,10 @@ pub struct SimControl {
     /// skips the channel `try_recv` entirely while this is zero — the
     /// "no monitor attached" fast path.
     pending_queries: AtomicU64,
+    /// Details of a handler panic caught by [`Simulation::run_caught`].
+    /// Readable without the engine thread's cooperation, so a monitor can
+    /// report the crash even if post-mortem serving is unavailable.
+    crash: Mutex<Option<CrashInfo>>,
 }
 
 impl SimControl {
@@ -309,6 +333,19 @@ impl SimControl {
 
     fn has_pending_queries(&self) -> bool {
         self.pending_queries.load(Ordering::Acquire) != 0
+    }
+
+    /// Details of a caught handler panic, if one occurred. Lock-free for
+    /// the engine; the monitor takes a short poison-tolerant lock.
+    pub fn crash_info(&self) -> Option<CrashInfo> {
+        self.crash
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn set_crashed(&self, info: CrashInfo) {
+        *self.crash.lock().unwrap_or_else(PoisonError::into_inner) = Some(info);
     }
 }
 
@@ -385,6 +422,9 @@ pub enum StopReason {
     Stopped,
     /// A `run_until` deadline was reached with events still pending.
     DeadlineReached,
+    /// A component handler panicked and [`Simulation::run_caught`] caught
+    /// the unwind.
+    Crashed,
 }
 
 /// Statistics from one run of the engine.
@@ -426,6 +466,25 @@ pub struct Simulation {
     trace_enabled: bool,
     trace_cap: usize,
     hooks: Vec<Rc<RefCell<dyn Hook>>>,
+    /// Handle to the fault hub carried by `buffers`; the engine publishes
+    /// virtual time into it and resolves component-level rules.
+    fhub: FaultHub,
+    /// Freeze/slow rules resolved to component ids, rebuilt on every
+    /// [`Simulation::install_faults`].
+    comp_faults: Vec<Option<CompFaultEntry>>,
+    /// True when any fault rule (site or component) is armed — the single
+    /// per-event branch fault-free runs pay.
+    faults_on: bool,
+    /// Per-component last-dispatch virtual time (ps), `u64::MAX` = never;
+    /// empty while stamps are off. Feeds the stall watchdog.
+    activity: Vec<u64>,
+    activity_on: bool,
+}
+
+#[derive(Clone)]
+struct CompFaultEntry {
+    name: String,
+    spec: CompFaultSpec,
 }
 
 impl Default for Simulation {
@@ -438,11 +497,13 @@ impl Simulation {
     /// Creates an empty simulation.
     pub fn new() -> Self {
         let (query_tx, query_rx) = channel();
+        let buffers = BufferRegistry::new();
+        let fhub = buffers.faults().clone();
         Simulation {
             sched: Scheduler::new(),
             components: Vec::new(),
             by_name: HashMap::new(),
-            buffers: BufferRegistry::new(),
+            buffers,
             ctrl: Arc::new(SimControl::default()),
             query_tx,
             query_rx,
@@ -457,6 +518,11 @@ impl Simulation {
             trace_enabled: false,
             trace_cap: 1024,
             hooks: Vec::new(),
+            fhub,
+            comp_faults: Vec::new(),
+            faults_on: false,
+            activity: Vec::new(),
+            activity_on: false,
         }
     }
 
@@ -609,6 +675,81 @@ impl Simulation {
         }
     }
 
+    // --- Fault injection ----------------------------------------------
+
+    /// Installs a fault plan, arming its rules. Rules append to any plan
+    /// already installed; component-level rules (freeze/slow) bind to the
+    /// components registered at call time.
+    pub fn install_faults(&mut self, plan: &FaultPlan) -> FaultInstallSummary {
+        let known: Vec<&str> = self.by_name.keys().map(String::as_str).collect();
+        let summary = self.fhub.install(plan, &known);
+        self.rebind_comp_faults();
+        summary
+    }
+
+    /// Disarms and removes every installed fault rule.
+    pub fn clear_faults(&mut self) {
+        self.fhub.clear();
+        self.rebind_comp_faults();
+    }
+
+    /// Live status of the fault subsystem.
+    pub fn fault_report(&self) -> FaultReport {
+        self.fhub.set_now_ps(self.sched.now.ps());
+        self.fhub.report()
+    }
+
+    /// The simulation's fault hub (shared with its [`BufferRegistry`]).
+    pub fn fault_hub(&self) -> &FaultHub {
+        &self.fhub
+    }
+
+    fn rebind_comp_faults(&mut self) {
+        self.comp_faults = (0..self.components.len()).map(|_| None).collect();
+        for (name, spec) in self.fhub.component_specs() {
+            if !spec.is_some() {
+                continue;
+            }
+            if let Some(id) = self.by_name.get(&name) {
+                self.comp_faults[id.index()] = Some(CompFaultEntry { name, spec });
+            }
+        }
+        self.faults_on = self.fhub.is_enabled() || self.comp_faults.iter().any(Option::is_some);
+    }
+
+    // --- Activity stamps (stall-watchdog support) ---------------------
+
+    /// Enables or disables per-component last-dispatch stamps. Costs one
+    /// vector store per event while on; the watchdog turns it on to name
+    /// the components that went quiet before a stall.
+    pub fn set_activity_stamps(&mut self, on: bool) {
+        self.activity_on = on;
+        self.activity = if on {
+            vec![u64::MAX; self.components.len()]
+        } else {
+            Vec::new()
+        };
+    }
+
+    /// Per-component last-dispatch stamps (`None` = no event since stamps
+    /// were enabled). Empty while stamps are off.
+    pub fn activity_stamps(&self) -> Vec<ActivityStamp> {
+        if !self.activity_on {
+            return Vec::new();
+        }
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ActivityStamp {
+                component: c.borrow().name().to_owned(),
+                last_event_ps: match self.activity.get(i) {
+                    Some(&ps) if ps != u64::MAX => Some(ps),
+                    _ => None,
+                },
+            })
+            .collect()
+    }
+
     // --- Accessors for the topology/deadlock analyzer -----------------
 
     pub(crate) fn components_slice(&self) -> &[Rc<RefCell<dyn Component>>] {
@@ -656,6 +797,36 @@ impl Simulation {
         if ev.kind == EventKind::Tick {
             self.sched.pending_ticks.remove(ev.component, ev.time);
         }
+        if self.activity_on {
+            let i = ev.component.index();
+            if i >= self.activity.len() {
+                self.activity.resize(i + 1, u64::MAX);
+            }
+            self.activity[i] = ev.time.ps();
+        }
+        let mut slow_factor = None;
+        if self.faults_on {
+            // Publish virtual time so buffer-level stuck-full windows can
+            // be evaluated without a Ctx in hand.
+            self.fhub.set_now_ps(ev.time.ps());
+            if let Some(Some(entry)) = self.comp_faults.get(ev.component.index()) {
+                if let Some((from, until)) = entry.spec.freeze {
+                    let t = ev.time.ps();
+                    if t >= from && t < until {
+                        // Swallow the event; a finite freeze reschedules
+                        // the tick at thaw time so the component resumes.
+                        let name = entry.name.clone();
+                        if ev.kind == EventKind::Tick && until != u64::MAX {
+                            self.sched
+                                .schedule_tick(ev.component, VTime::from_ps(until));
+                        }
+                        self.fhub.note_comp_injections(&name, true, 1);
+                        return;
+                    }
+                }
+                slow_factor = entry.spec.slow_factor.filter(|f| *f > 1);
+            }
+        }
         let comp_rc = Rc::clone(&self.components[ev.component.index()]);
         if !self.hooks.is_empty() {
             let comp = comp_rc.borrow();
@@ -663,6 +834,7 @@ impl Simulation {
                 hook.borrow_mut().before_event(&ev, &*comp);
             }
         }
+        let mut slow_applied = false;
         {
             let mut comp = comp_rc.borrow_mut();
             let _prof = profile::scope(comp.kind());
@@ -673,11 +845,28 @@ impl Simulation {
                 EventKind::Tick => {
                     let progress = comp.tick(&mut ctx);
                     if progress {
-                        let next = comp.freq().cycle_after(ev.time);
+                        let next = match slow_factor {
+                            // Stretch the tick period: the component keeps
+                            // working, at 1/factor the rate.
+                            Some(f) => {
+                                slow_applied = true;
+                                let period = comp.freq().period().ps();
+                                VTime::from_ps(
+                                    ev.time.ps().saturating_add(period.saturating_mul(f)),
+                                )
+                            }
+                            None => comp.freq().cycle_after(ev.time),
+                        };
                         ctx.schedule_tick(ev.component, next);
                     }
                 }
                 EventKind::Custom(code) => comp.handle_custom(code, &mut ctx),
+            }
+        }
+        if slow_applied {
+            if let Some(Some(entry)) = self.comp_faults.get(ev.component.index()) {
+                let name = entry.name.clone();
+                self.fhub.note_comp_injections(&name, false, 1);
             }
         }
         if !self.hooks.is_empty() {
@@ -728,6 +917,69 @@ impl Simulation {
         self.run_inner(None, true)
     }
 
+    /// Runs under `catch_unwind`: a panicking component handler ends the
+    /// run with [`StopReason::Crashed`] instead of tearing down the thread
+    /// (and with it, any attached monitor's engine access). The crash
+    /// details land in [`SimControl::crash_info`] and the state becomes
+    /// [`RunState::Crashed`]. Pass `interactive = true` for
+    /// [`Simulation::run_interactive`] semantics on the non-crash path.
+    ///
+    /// Component state after a caught panic may be mid-mutation;
+    /// post-mortem inspection via [`Simulation::serve_post_mortem`] is
+    /// best-effort by design.
+    pub fn run_caught(&mut self, interactive: bool) -> RunSummary {
+        let start_events = self.events_total;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_inner(None, interactive)
+        }));
+        match result {
+            Ok(summary) => summary,
+            Err(payload) => {
+                // RefCell borrow flags were reset as the unwind dropped
+                // their guards, so post-mortem queries can still borrow.
+                self.flush_publish();
+                let component = self
+                    .components
+                    .get(self.sched.current.index())
+                    .map(|c| c.borrow().name().to_owned())
+                    .unwrap_or_default();
+                self.ctrl.set_crashed(CrashInfo {
+                    message: panic_message(payload.as_ref()),
+                    component,
+                    now: self.sched.now,
+                    events: self.events_total,
+                });
+                self.ctrl.set_state(RunState::Crashed);
+                RunSummary {
+                    events: self.events_total - start_events,
+                    end_time: self.sched.now,
+                    reason: StopReason::Crashed,
+                }
+            }
+        }
+    }
+
+    /// Serves monitor queries after a crash (state pinned to
+    /// [`RunState::Crashed`]) until [`SimQuery::Terminate`] or
+    /// [`SimControl::request_stop`]. Each query is individually caught:
+    /// one query tripping over inconsistent post-crash state doesn't end
+    /// post-mortem serving for the rest.
+    pub fn serve_post_mortem(&mut self) {
+        self.flush_publish();
+        self.ctrl.set_state(RunState::Crashed);
+        loop {
+            if self.ctrl.stop_requested() || self.terminate_requested {
+                return;
+            }
+            if let Ok(q) = self.query_rx.recv_timeout(Duration::from_millis(20)) {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.serve_query(q);
+                }));
+                self.ctrl.set_state(RunState::Crashed);
+            }
+        }
+    }
+
     fn run_inner(&mut self, deadline: Option<VTime>, interactive: bool) -> RunSummary {
         let start_events = self.events_total;
         self.ctrl.set_state(RunState::Running);
@@ -773,7 +1025,7 @@ impl Simulation {
         // Finished, so a monitor doesn't declare a live sim done.
         self.ctrl.set_state(match reason {
             StopReason::DeadlineReached => RunState::Idle,
-            StopReason::Completed | StopReason::Stopped => RunState::Finished,
+            StopReason::Completed | StopReason::Stopped | StopReason::Crashed => RunState::Finished,
         });
         RunSummary {
             events: self.events_total - start_events,
@@ -945,10 +1197,32 @@ impl Simulation {
             SimQuery::Analysis(reply) => {
                 let _ = reply.send(self.analyze());
             }
+            SimQuery::InstallFaults(plan, reply) => {
+                let _ = reply.send(self.install_faults(&plan));
+            }
+            SimQuery::Faults(reply) => {
+                let _ = reply.send(self.fault_report());
+            }
+            SimQuery::SetActivityStamps(on) => {
+                self.set_activity_stamps(on);
+            }
+            SimQuery::Activity(reply) => {
+                let _ = reply.send(self.activity_stamps());
+            }
             SimQuery::Terminate => {
                 self.terminate_requested = true;
             }
         }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -48,6 +48,7 @@ mod buffer;
 mod component;
 mod conn;
 mod engine;
+pub mod faults;
 mod hook;
 mod ids;
 mod msg;
@@ -66,7 +67,12 @@ pub use analysis::{
 pub use buffer::{Buffer, BufferRegistry, BufferSnapshot};
 pub use component::{CompBase, Component};
 pub use conn::{Connection, DirectConnection, LinkWait, SendError};
-pub use engine::{Ctx, EngineTuning, RunState, RunSummary, SimControl, Simulation, StopReason};
+pub use engine::{
+    CrashInfo, Ctx, EngineTuning, RunState, RunSummary, SimControl, Simulation, StopReason,
+};
+pub use faults::{
+    FaultHub, FaultInstallSummary, FaultKind, FaultPlan, FaultReport, FaultRule, FaultRuleStatus,
+};
 pub use hook::{EventCountHook, EventCounts, Hook};
 pub use ids::{ComponentId, MsgId, PortId};
 pub use msg::{downcast_msg, Msg, MsgExt, MsgMeta};
@@ -74,8 +80,8 @@ pub use port::{Port, PortSnapshot};
 pub use profile::{ProfileEdge, ProfileNode, ProfileReport};
 pub use progress::{ProgressBarId, ProgressRegistry, ProgressSnapshot};
 pub use query::{
-    ComponentInfo, ComponentStateDto, EngineStatus, QueryClient, QueryError, Replier, SimQuery,
-    TopologyEdge, TraceRecord,
+    ActivityStamp, ComponentInfo, ComponentStateDto, EngineStatus, QueryClient, QueryError,
+    Replier, SimQuery, TopologyEdge, TraceRecord,
 };
 pub use queue::{Ev, EventKind, EventQueue};
 pub use state::{ComponentState, Field, IntoValue, Value};

@@ -103,6 +103,14 @@ pub trait Msg: Any + Debug {
     fn label(&self) -> &'static str {
         std::any::type_name::<Self>()
     }
+
+    /// A deep copy with a fresh [`MsgId`], used by the duplicate fault
+    /// (`akita::faults`). `None` (the default) means the type does not
+    /// support duplication; opt in with `impl_msg!(Ty, clone)` on a
+    /// `Clone` type.
+    fn clone_msg(&self) -> Option<Box<dyn Msg>> {
+        None
+    }
 }
 
 /// Convenience downcasting on `dyn Msg`.
@@ -140,6 +148,11 @@ pub fn downcast_msg<T: Msg>(msg: Box<dyn Msg>) -> Result<Box<T>, Box<dyn Msg>> {
 }
 
 /// Implements [`Msg`] for a struct with a `meta: MsgMeta` field.
+///
+/// The two-argument form `impl_msg!(Ty, clone)` additionally implements
+/// [`Msg::clone_msg`] for `Clone` types, opting the message into the
+/// duplicate fault: the copy carries a fresh [`MsgId`] but keeps the
+/// original's task lineage.
 #[macro_export]
 macro_rules! impl_msg {
     ($ty:ty) => {
@@ -158,6 +171,30 @@ macro_rules! impl_msg {
             }
             fn into_any(self: Box<Self>) -> Box<dyn ::std::any::Any> {
                 self
+            }
+        }
+    };
+    ($ty:ty, clone) => {
+        impl $crate::Msg for $ty {
+            fn meta(&self) -> &$crate::MsgMeta {
+                &self.meta
+            }
+            fn meta_mut(&mut self) -> &mut $crate::MsgMeta {
+                &mut self.meta
+            }
+            fn as_any(&self) -> &dyn ::std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+                self
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn ::std::any::Any> {
+                self
+            }
+            fn clone_msg(&self) -> Option<Box<dyn $crate::Msg>> {
+                let mut copy = <$ty as ::std::clone::Clone>::clone(self);
+                copy.meta.id = $crate::MsgId::fresh();
+                Some(Box::new(copy))
             }
         }
     };

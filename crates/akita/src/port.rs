@@ -15,6 +15,7 @@ use std::rc::Rc;
 use crate::buffer::{Buffer, BufferRegistry};
 use crate::conn::{Connection, SendError};
 use crate::engine::Ctx;
+use crate::faults::FaultSite;
 use crate::ids::{ComponentId, PortId};
 use crate::msg::Msg;
 use crate::trace;
@@ -78,6 +79,9 @@ pub struct Port {
     /// Interned at construction so the retrieve hot path records queue
     /// waits without borrowing or hashing.
     site: trace::SiteId,
+    /// Fault-injection site keyed by the port's name; connections consult
+    /// it per message when a plan is armed.
+    fsite: FaultSite,
     /// Keeps the registry's weak probe alive for the port's lifetime.
     _probe: Rc<ProbeImpl>,
 }
@@ -93,6 +97,7 @@ impl Port {
     pub fn new(registry: &BufferRegistry, name: impl Into<String>, buf_cap: usize) -> Self {
         let name = name.into();
         let site = trace::site(&name);
+        let fsite = registry.faults.site(&name);
         let incoming = Buffer::new(registry, format!("{name}.Buf"), buf_cap);
         let inner = Rc::new(RefCell::new(PortInner {
             id: PortId::fresh(),
@@ -109,8 +114,15 @@ impl Port {
             inner,
             incoming,
             site,
+            fsite,
             _probe: probe,
         }
+    }
+
+    /// The port's fault-injection site, consulted by connections for
+    /// per-message drop/delay/duplicate/reorder verdicts.
+    pub(crate) fn fault_site(&self) -> &FaultSite {
+        &self.fsite
     }
 
     /// The port's globally unique id.

@@ -15,7 +15,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::analysis::LintReport;
 use crate::buffer::BufferSnapshot;
-use crate::engine::{RunState, SimControl};
+use crate::engine::{CrashInfo, RunState, SimControl};
+use crate::faults::{FaultInstallSummary, FaultPlan, FaultReport};
 use crate::profile::ProfileReport;
 use crate::queue::EventKind;
 use crate::state::ComponentState;
@@ -61,8 +62,28 @@ pub enum SimQuery {
     /// ([`Simulation::analyze`](crate::Simulation::analyze)) against the
     /// live simulation.
     Analysis(Replier<LintReport>),
+    /// Install a fault plan at runtime
+    /// ([`Simulation::install_faults`](crate::Simulation::install_faults)).
+    InstallFaults(FaultPlan, Replier<FaultInstallSummary>),
+    /// Live status of the fault subsystem.
+    Faults(Replier<FaultReport>),
+    /// Turn per-component last-activity stamps on or off (the watchdog's
+    /// "who went quiet" signal).
+    SetActivityStamps(bool),
+    /// Per-component last-activity stamps (empty while stamps are off).
+    Activity(Replier<Vec<ActivityStamp>>),
     /// End an interactive run.
     Terminate,
+}
+
+/// One component's last-dispatch stamp.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityStamp {
+    /// Hierarchical component name.
+    pub component: String,
+    /// Virtual time (ps) of the component's most recent event, or `None`
+    /// if it has not been dispatched since stamps were enabled.
+    pub last_event_ps: Option<u64>,
 }
 
 /// One dispatched event in the trace view.
@@ -311,6 +332,49 @@ impl QueryClient {
     /// [`QueryError`] when the simulation is gone or unresponsive.
     pub fn analysis(&self) -> Result<LintReport, QueryError> {
         self.request(SimQuery::Analysis)
+    }
+
+    /// Installs a fault plan on the running simulation, returning how its
+    /// rules bound to injection sites.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn install_faults(&self, plan: FaultPlan) -> Result<FaultInstallSummary, QueryError> {
+        self.request(|r| SimQuery::InstallFaults(plan, r))
+    }
+
+    /// Live status of the fault subsystem.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn faults(&self) -> Result<FaultReport, QueryError> {
+        self.request(SimQuery::Faults)
+    }
+
+    /// Turns per-component activity stamps on or off (fire-and-forget).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Disconnected`] when the simulation is gone.
+    pub fn set_activity_stamps(&self, on: bool) -> Result<(), QueryError> {
+        self.send(SimQuery::SetActivityStamps(on))
+    }
+
+    /// Per-component last-activity stamps (empty while stamps are off).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn activity(&self) -> Result<Vec<ActivityStamp>, QueryError> {
+        self.request(SimQuery::Activity)
+    }
+
+    /// Details of a caught handler panic, if any (lock-free; works even
+    /// when the engine thread is past serving queries).
+    pub fn crash_info(&self) -> Option<CrashInfo> {
+        self.ctrl.crash_info()
     }
 
     /// Ends an interactive run (fire-and-forget).

@@ -1,0 +1,489 @@
+//! Integration tests for deterministic fault injection and crash-resilient
+//! runs: same seed + same plan ⇒ bit-identical event logs, a prob-0 plan is
+//! indistinguishable from no plan at all, a stuck-full buffer reproduces the
+//! paper's Case Study 2 hang signature (and the analysis names the injected
+//! site), and a panicking component leaves a queryable post-mortem.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::thread;
+use std::time::Duration;
+
+use akita::faults::{FaultKind, FaultPlan, FaultRule};
+use akita::{
+    impl_msg, CompBase, Component, Ctx, DirectConnection, MsgMeta, RunState, Simulation,
+    StopReason, VTime,
+};
+
+#[derive(Debug, Clone)]
+struct Packet {
+    meta: MsgMeta,
+    seq: u64,
+}
+impl_msg!(Packet, clone);
+
+/// Sends `total` packets to a destination port, retrying on backpressure.
+struct Producer {
+    base: CompBase,
+    out: akita::Port,
+    dst: akita::PortId,
+    total: u64,
+    sent: u64,
+    held: Option<Box<dyn akita::Msg>>,
+}
+
+impl Producer {
+    fn new(sim: &Simulation, name: &str, dst: akita::PortId, total: u64) -> Self {
+        let out = akita::Port::new(&sim.buffer_registry(), format!("{name}.Out"), 2);
+        Producer {
+            base: CompBase::new("Producer", name),
+            out,
+            dst,
+            total,
+            sent: 0,
+            held: None,
+        }
+    }
+}
+
+impl Component for Producer {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx) -> bool {
+        if self.held.is_none() && self.sent < self.total {
+            let mut meta = MsgMeta::new(self.out.id(), self.dst, 64);
+            meta.dst = self.dst;
+            self.held = Some(Box::new(Packet {
+                meta,
+                seq: self.sent,
+            }));
+            self.sent += 1;
+        }
+        if let Some(msg) = self.held.take() {
+            if let Err(msg) = self.out.send(ctx, msg) {
+                self.held = Some(msg);
+                return false; // blocked: connection will wake us
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// Consumes one packet per tick and records the arrival order.
+struct Consumer {
+    base: CompBase,
+    inp: akita::Port,
+    received: Vec<u64>,
+}
+
+impl Consumer {
+    fn new(sim: &Simulation, name: &str, buf_cap: usize) -> Self {
+        let inp = akita::Port::new(&sim.buffer_registry(), format!("{name}.In"), buf_cap);
+        Consumer {
+            base: CompBase::new("Consumer", name),
+            inp,
+            received: Vec::new(),
+        }
+    }
+}
+
+impl Component for Consumer {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx) -> bool {
+        match self.inp.retrieve(ctx) {
+            Some(msg) => {
+                let pkt = akita::downcast_msg::<Packet>(msg).expect("only packets flow here");
+                self.received.push(pkt.seq);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+struct Chain {
+    sim: Simulation,
+    consumer: Rc<RefCell<Consumer>>,
+}
+
+fn build_chain(total: u64, consumer_buf: usize) -> Chain {
+    let mut sim = Simulation::new();
+    let consumer = Consumer::new(&sim, "C", consumer_buf);
+    let dst = consumer.inp.id();
+    let producer = Producer::new(&sim, "P", dst, total);
+
+    let (_conn_id, conn) = sim.register(DirectConnection::new("Conn", VTime::from_ns(1)));
+    let cport = consumer.inp.clone();
+    let (cons_id, consumer) = sim.register(consumer);
+    sim.connect(&conn, &cport, cons_id);
+    let pport = producer.out.clone();
+    let (prod_id, _p) = sim.register(producer);
+    sim.connect(&conn, &pport, prod_id);
+    sim.wake_at(prod_id, VTime::ZERO);
+    Chain { sim, consumer }
+}
+
+type EvLog = Vec<(u64, u64, usize, akita::EventKind)>;
+
+/// Records every dispatched event verbatim: `(time, seq, component, kind)`.
+/// Two runs are behaviourally identical iff their logs are equal.
+struct EvRecorder {
+    log: Rc<RefCell<EvLog>>,
+}
+
+impl akita::Hook for EvRecorder {
+    fn before_event(&mut self, ev: &akita::Ev, _c: &dyn Component) {
+        self.log
+            .borrow_mut()
+            .push((ev.time.ps(), ev.seq, ev.component.index(), ev.kind));
+    }
+}
+
+/// Runs the chain with `plan` installed (if any); returns the full event
+/// log, the arrival order, and the fault report.
+fn run_with_plan(plan: Option<&FaultPlan>) -> (EvLog, Vec<u64>, akita::FaultReport) {
+    let mut chain = build_chain(40, 4);
+    if let Some(plan) = plan {
+        chain.sim.install_faults(plan);
+    }
+    let log = Rc::new(RefCell::new(Vec::new()));
+    chain.sim.add_hook(EvRecorder {
+        log: Rc::clone(&log),
+    });
+    chain.sim.run();
+    let received = chain.consumer.borrow().received.clone();
+    let report = chain.sim.fault_report();
+    (log.take(), received, report)
+}
+
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        rules: vec![
+            FaultRule {
+                site: "C.In".into(),
+                kind: FaultKind::Drop { prob: 0.2 },
+            },
+            FaultRule {
+                site: "C.In".into(),
+                kind: FaultKind::Delay {
+                    prob: 0.3,
+                    delay_ps: 5_000,
+                },
+            },
+            FaultRule {
+                site: "C.In".into(),
+                kind: FaultKind::Reorder { prob: 0.25 },
+            },
+        ],
+    }
+}
+
+/// The headline determinism contract: same seed + same plan dispatches a
+/// bit-identical event sequence — and the faults really fired.
+#[test]
+fn same_seed_and_plan_give_identical_event_logs() {
+    let plan = chaos_plan(42);
+    let (log_a, recv_a, report_a) = run_with_plan(Some(&plan));
+    let (log_b, recv_b, report_b) = run_with_plan(Some(&plan));
+    assert!(!log_a.is_empty());
+    assert_eq!(log_a, log_b, "fault schedule was not deterministic");
+    assert_eq!(recv_a, recv_b);
+    let injected: u64 = report_a.rules.iter().map(|r| r.injected).sum();
+    assert!(injected > 0, "chaos plan never fired: {report_a:?}");
+    let injected_b: u64 = report_b.rules.iter().map(|r| r.injected).sum();
+    assert_eq!(injected, injected_b);
+}
+
+/// Different seeds draw different schedules (the seed is load-bearing).
+#[test]
+fn different_seeds_draw_different_schedules() {
+    let (log_a, _, _) = run_with_plan(Some(&chaos_plan(1)));
+    let (log_b, _, _) = run_with_plan(Some(&chaos_plan(2)));
+    assert_ne!(log_a, log_b, "seed had no effect on the fault schedule");
+}
+
+/// The zero-overhead-when-unused contract, behaviourally: a plan whose
+/// rules can never fire (prob 0) produces the exact event log of a run with
+/// no plan installed at all.
+#[test]
+fn prob_zero_plan_is_event_log_identical_to_no_plan() {
+    let inert = FaultPlan {
+        seed: 99,
+        rules: vec![
+            FaultRule {
+                site: "C.In".into(),
+                kind: FaultKind::Drop { prob: 0.0 },
+            },
+            FaultRule {
+                site: "C.In".into(),
+                kind: FaultKind::Duplicate { prob: 0.0 },
+            },
+        ],
+    };
+    let (log_plain, recv_plain, _) = run_with_plan(None);
+    let (log_inert, recv_inert, report) = run_with_plan(Some(&inert));
+    assert_eq!(log_plain, log_inert, "an inert plan perturbed the run");
+    assert_eq!(recv_plain, recv_inert);
+    assert!(report.enabled, "the inert plan should still be armed");
+}
+
+/// Certain drop: every packet is consumed before the link; the run still
+/// drains cleanly (no phantom in-flight work).
+#[test]
+fn certain_drop_loses_every_packet_and_still_completes() {
+    let plan = FaultPlan {
+        seed: 3,
+        rules: vec![FaultRule {
+            site: "C.In".into(),
+            kind: FaultKind::Drop { prob: 1.0 },
+        }],
+    };
+    let (_, received, report) = run_with_plan(Some(&plan));
+    assert!(received.is_empty(), "dropped packets arrived: {received:?}");
+    assert_eq!(report.rules[0].injected, 40);
+    assert_eq!(report.rules[0].decisions, 40);
+}
+
+/// Certain duplicate: every packet arrives twice (clone support on the
+/// message type), in the original relative order per copy-pair.
+#[test]
+fn certain_duplicate_delivers_every_packet_twice() {
+    let plan = FaultPlan {
+        seed: 3,
+        rules: vec![FaultRule {
+            site: "C.In".into(),
+            kind: FaultKind::Duplicate { prob: 1.0 },
+        }],
+    };
+    let (_, received, _) = run_with_plan(Some(&plan));
+    assert_eq!(received.len(), 80, "expected every packet twice");
+    for seq in 0..40 {
+        assert_eq!(
+            received.iter().filter(|&&s| s == seq).count(),
+            2,
+            "packet {seq} not duplicated"
+        );
+    }
+}
+
+/// Certain delay stretches virtual time versus the clean run.
+#[test]
+fn delay_fault_stretches_virtual_time() {
+    let clean_now = {
+        let mut chain = build_chain(40, 4);
+        chain.sim.run();
+        chain.sim.now()
+    };
+    let delayed_now = {
+        let mut chain = build_chain(40, 4);
+        chain.sim.install_faults(&FaultPlan {
+            seed: 5,
+            rules: vec![FaultRule {
+                site: "C.In".into(),
+                kind: FaultKind::Delay {
+                    prob: 1.0,
+                    delay_ps: 50_000,
+                },
+            }],
+        });
+        chain.sim.run();
+        chain.sim.now()
+    };
+    assert!(
+        delayed_now > clean_now,
+        "delay fault had no effect: clean={clean_now}, delayed={delayed_now}"
+    );
+}
+
+/// A slow-by-factor fault on the consumer stretches the whole run.
+#[test]
+fn slow_fault_throttles_a_component() {
+    let clean_now = {
+        let mut chain = build_chain(40, 2);
+        chain.sim.run();
+        chain.sim.now()
+    };
+    let slowed = {
+        let mut chain = build_chain(40, 2);
+        let summary = chain.sim.install_faults(&FaultPlan {
+            seed: 5,
+            rules: vec![FaultRule {
+                site: "C".into(),
+                kind: FaultKind::Slow { factor: 8 },
+            }],
+        });
+        assert_eq!(summary.sites_matched, 1);
+        chain.sim.run();
+        assert_eq!(chain.consumer.borrow().received.len(), 40);
+        chain.sim.now()
+    };
+    assert!(
+        slowed > clean_now,
+        "slow fault had no effect: clean={clean_now}, slowed={slowed}"
+    );
+}
+
+/// A frozen consumer reproduces the hang signature: the queue quiesces with
+/// messages still in flight.
+#[test]
+fn freeze_fault_wedges_the_chain() {
+    let mut chain = build_chain(40, 4);
+    chain.sim.install_faults(&FaultPlan {
+        seed: 5,
+        rules: vec![FaultRule {
+            site: "C".into(),
+            kind: FaultKind::Freeze {
+                from_ps: 0,
+                for_ps: 0, // forever
+            },
+        }],
+    });
+    chain.sim.run();
+    assert!(chain.consumer.borrow().received.is_empty());
+    let report = chain.sim.analyze();
+    assert!(
+        report.deadlock.is_deadlocked(),
+        "expected quiesced-with-work-left: {:?}",
+        report.deadlock
+    );
+}
+
+/// The canned Case Study 2 scenario at chain scale: a stuck-full buffer
+/// quiesces the run with in-flight work, and the deadlock analysis names
+/// the *injected* site rather than presenting the hang as organic.
+#[test]
+fn stuck_full_buffer_hangs_and_analysis_names_the_injected_site() {
+    let mut chain = build_chain(40, 4);
+    let summary = chain.sim.install_faults(&FaultPlan {
+        seed: 7,
+        rules: vec![FaultRule {
+            site: "C.In.Buf".into(),
+            kind: FaultKind::StuckFull {
+                from_ps: 0,
+                for_ps: 0, // forever
+            },
+        }],
+    });
+    assert_eq!(summary.sites_matched, 1);
+    assert!(summary.sites_unknown.is_empty());
+
+    chain.sim.run();
+    assert!(chain.consumer.borrow().received.is_empty());
+
+    let report = chain.sim.analyze();
+    assert!(report.deadlock.is_deadlocked());
+    assert!(report.deadlock.in_flight > 0);
+    let named = report
+        .deadlock
+        .suspects
+        .iter()
+        .any(|s| s.component == "C.In.Buf" && s.reason.contains("injected stuck-full fault"));
+    assert!(
+        named,
+        "analysis did not name the injected site: {:?}",
+        report.deadlock.suspects
+    );
+}
+
+/// Rules naming sites that don't exist are reported, not silently dropped.
+#[test]
+fn unknown_sites_are_reported_at_install_time() {
+    let mut chain = build_chain(4, 4);
+    let summary = chain.sim.install_faults(&FaultPlan {
+        seed: 1,
+        rules: vec![
+            FaultRule {
+                site: "C.In".into(),
+                kind: FaultKind::Drop { prob: 0.1 },
+            },
+            FaultRule {
+                site: "NoSuchPort".into(),
+                kind: FaultKind::Drop { prob: 0.1 },
+            },
+        ],
+    });
+    assert_eq!(summary.rules_installed, 2);
+    assert_eq!(summary.sites_matched, 1);
+    assert_eq!(summary.sites_unknown, vec!["NoSuchPort".to_string()]);
+}
+
+/// A component whose handler panics mid-run.
+struct Bomb {
+    base: CompBase,
+    ticks: u64,
+    fuse: u64,
+}
+
+impl Component for Bomb {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+    fn tick(&mut self, _ctx: &mut Ctx) -> bool {
+        self.ticks += 1;
+        assert!(self.ticks < self.fuse, "boom at tick {}", self.ticks);
+        true
+    }
+}
+
+/// A panicking component ends the run with `StopReason::Crashed` instead of
+/// tearing down the thread, and the post-mortem loop keeps answering
+/// monitor queries — crash details included — until terminated.
+#[test]
+fn crashed_run_serves_a_post_mortem() {
+    let mut sim = Simulation::new();
+    let (id, _bomb) = sim.register(Bomb {
+        base: CompBase::new("Bomb", "B"),
+        ticks: 0,
+        fuse: 10,
+    });
+    sim.wake_at(id, VTime::ZERO);
+
+    let summary = sim.run_caught(false);
+    assert_eq!(summary.reason, StopReason::Crashed);
+
+    let client = sim.client();
+    assert_eq!(client.run_state(), RunState::Crashed);
+    let crash = client.crash_info().expect("crash info must be recorded");
+    assert_eq!(crash.component, "B");
+    assert!(
+        crash.message.contains("boom at tick 10"),
+        "{}",
+        crash.message
+    );
+
+    // Post-mortem: queries answered from the crashed engine.
+    let probe = thread::spawn(move || {
+        let mut status = None;
+        for _ in 0..200 {
+            if let Ok(s) = client.status() {
+                status = Some(s);
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        let components = client.components().ok();
+        client.terminate().expect("terminate");
+        (status, components)
+    });
+    sim.serve_post_mortem();
+    let (status, components) = probe.join().unwrap();
+    let status = status.expect("status served post-mortem");
+    assert_eq!(status.state, RunState::Crashed);
+    assert!(components.is_some_and(|c| c.iter().any(|comp| comp.name == "B")));
+}

@@ -22,11 +22,18 @@
 //! numbers are the headline ones (the disabled check is one relaxed
 //! atomic load); the enabled run quantifies what turning the Latency tab
 //! on costs. In `--smoke` mode the traced run must clear the same floor.
+//!
+//! A third section measures the stall watchdog: the Fig 4 chain with an
+//! attached monitor, run once without and once with the watchdog heartbeat
+//! (plus per-component activity stamps) enabled. The delta is the price of
+//! leaving hang detection armed on every run.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use akita::{EngineTuning, Simulation};
+use akita::{EngineTuning, ProgressRegistry, Simulation};
 use akita_gpu::{GpuConfig, Platform, PlatformConfig};
+use akita_rtm::{Monitor, WatchdogConfig};
 use akita_workloads::{Fir, Workload};
 use rtm_bench::chain::build_chain_sim;
 use rtm_bench::textfig::print_table;
@@ -83,6 +90,31 @@ fn traced(inner: impl FnOnce() -> Measurement) -> Measurement {
     akita::trace::set_enabled(false);
     akita::trace::reset();
     m
+}
+
+/// The Fig 4 chain with a live monitor attached; `watchdog` additionally
+/// arms the stall heartbeat (no auto-pause — a bench run must not freeze)
+/// and turns per-component activity stamps on, the configuration a user
+/// gets from `rtm-sim run --watchdog`.
+fn run_chain_monitored(tasks: u64, tuning: EngineTuning, reps: u32, watchdog: bool) -> Measurement {
+    best(reps, || {
+        let mut sim = build_chain_sim(tasks);
+        let monitor = Arc::new(Monitor::attach(
+            &sim,
+            ProgressRegistry::new(),
+            Duration::from_millis(10),
+        ));
+        if watchdog {
+            monitor.enable_watchdog(WatchdogConfig {
+                interval: Duration::from_millis(25),
+                stall_checks: 5,
+                auto_pause: false,
+                stop_on_stall: false,
+            });
+            sim.set_activity_stamps(true);
+        }
+        measure(&mut sim, tuning)
+    })
 }
 
 fn run_gpu(samples: u64, tuning: EngineTuning, reps: u32) -> Measurement {
@@ -151,6 +183,8 @@ fn main() {
     let gpu_fast = run_gpu(gpu_samples, EngineTuning::fast(), reps);
     let chain_traced = traced(|| run_chain(chain_tasks, EngineTuning::fast(), reps));
     let gpu_traced = traced(|| run_gpu(gpu_samples, EngineTuning::fast(), reps));
+    let chain_mon = run_chain_monitored(chain_tasks, EngineTuning::fast(), reps, false);
+    let chain_wd = run_chain_monitored(chain_tasks, EngineTuning::fast(), reps, true);
 
     let row = |name: &str, seed: Measurement, fast: Measurement| {
         vec![
@@ -189,6 +223,17 @@ fn main() {
         ],
     );
 
+    println!("\n=== stall-watchdog overhead (fast engine + monitor, watchdog off vs on) ===\n");
+    print_table(
+        &["workload", "watchdog off", "watchdog on", "overhead"],
+        &[vec![
+            "fig4_chain".to_owned(),
+            format!("{}/s", fmt_eps(chain_mon.eps)),
+            format!("{}/s", fmt_eps(chain_wd.eps)),
+            format!("{:+.1}%", overhead(chain_mon, chain_wd)),
+        ]],
+    );
+
     if smoke {
         println!("\nsmoke mode: floor {}/s", fmt_eps(SMOKE_FLOOR_EPS));
         if chain_fast.eps < SMOKE_FLOOR_EPS || gpu_fast.eps < SMOKE_FLOOR_EPS {
@@ -207,7 +252,14 @@ fn main() {
             );
             std::process::exit(1);
         }
-        println!("OK: fast engine clears the smoke floor with tracing off and on");
+        if chain_wd.eps < SMOKE_FLOOR_EPS {
+            eprintln!(
+                "FAIL: watchdog-armed engine below smoke floor ({}/s)",
+                fmt_eps(chain_wd.eps)
+            );
+            std::process::exit(1);
+        }
+        println!("OK: fast engine clears the smoke floor with tracing and watchdog on");
         return;
     }
 
@@ -228,6 +280,14 @@ fn main() {
         "tracing_overhead": [
             (tracing_json("fig4_chain", chain_fast, chain_traced)),
             (tracing_json("mcm_gpu_fir", gpu_fast, gpu_traced)),
+        ],
+        "watchdog_overhead": [
+            (json!({
+                "name": "fig4_chain",
+                "watchdog_off_eps": (chain_mon.eps),
+                "watchdog_on_eps": (chain_wd.eps),
+                "overhead_percent": (overhead(chain_mon, chain_wd)),
+            })),
         ],
     });
     if let Some(dir) = std::path::Path::new(&out_path).parent() {

@@ -16,18 +16,20 @@ use std::time::Duration;
 use akita::VTime;
 use akita_gpu::{GpuConfig, Platform, PlatformConfig};
 use akita_mem::L2Config;
-use akita_rtm::{Monitor, RtmServer};
+use akita_rtm::{Monitor, RtmServer, WatchdogConfig};
 use akita_workloads::{by_name, extended_suite};
 
 const USAGE: &str = "\
 rtm-sim — run a monitored GPU simulation (AkitaRTM reproduction)
 
 USAGE:
-    rtm-sim [OPTIONS]
+    rtm-sim [run] [OPTIONS]
     rtm-sim analyze [OPTIONS]
     rtm-sim trace [OPTIONS]
 
 SUBCOMMANDS:
+    run                     run the workload (the default when no
+                            subcommand is given)
     analyze                 lint the platform's wiring (unattached ports,
                             undersized buffers, potential backpressure
                             cycles), run the workload, and report any
@@ -56,9 +58,23 @@ OPTIONS:
                             for A/B timing)
     --flush                 flush caches between kernels (MGPUSim's model)
     --inject-deadlock       enable the Case Study 2 L2 write-buffer bug
+    --faults <plan.json>    install a deterministic fault-injection plan
+                            (akita::faults) before the run; component
+                            handler panics are caught and reported instead
+                            of killing the process
+    --watchdog              run under the stall watchdog: auto-detects
+                            livelocks, backpressure deadlocks, and drained
+                            queues; without --hold a genuine stall ends
+                            the run
     --json                  (analyze) print the final LintReport as JSON
     --out <file.json>       (trace) output path (default: trace.json)
     -h, --help              show this help
+
+EXIT CODES:
+    0  success        2  bad usage        3  workload did not complete
+    4  analyze found errors or a deadlock
+    5  the watchdog declared a livelock or backpressure stall
+    6  a component handler crashed (panicked)
 ";
 
 struct Args {
@@ -78,6 +94,8 @@ struct Args {
     no_monitor: bool,
     inject_deadlock: bool,
     flush: bool,
+    faults: Option<String>,
+    watchdog: bool,
 }
 
 fn die(msg: &str) -> ! {
@@ -103,6 +121,8 @@ fn parse_args() -> Args {
         no_monitor: false,
         inject_deadlock: false,
         flush: false,
+        faults: None,
+        watchdog: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -111,8 +131,11 @@ fn parse_args() -> Args {
                 .unwrap_or_else(|| die(&format!("{name} needs a value")))
         };
         match arg.as_str() {
+            "run" => {}
             "analyze" => args.analyze = true,
             "trace" => args.trace = true,
+            "--faults" => args.faults = Some(value("--faults")),
+            "--watchdog" => args.watchdog = true,
             "--out" => args.out = value("--out"),
             "--json" => args.json = true,
             "--workload" => args.workload = value("--workload"),
@@ -373,7 +396,25 @@ fn main() {
     workload.enqueue(&mut platform.driver.borrow_mut());
     platform.start();
 
-    let server = if args.no_monitor {
+    if let Some(path) = &args.faults {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        let plan = akita::FaultPlan::from_json(&text)
+            .unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")));
+        let installed = platform.sim.install_faults(&plan);
+        println!(
+            "fault plan `{path}` installed: {} rule(s), {} site(s) matched",
+            installed.rules_installed, installed.sites_matched
+        );
+        for site in &installed.sites_unknown {
+            println!("  note: site `{site}` is not registered (the rule stays armed)");
+        }
+    }
+    if args.watchdog && args.no_monitor {
+        die("--watchdog needs the monitor (drop --no-monitor)");
+    }
+
+    let monitored = if args.no_monitor {
         None
     } else {
         let counts = platform.sim.add_hook(akita::EventCountHook::default());
@@ -386,18 +427,43 @@ fn main() {
         let addr = format!("127.0.0.1:{}", args.port)
             .parse()
             .expect("valid socket address");
-        let server = RtmServer::start(monitor, addr).unwrap_or_else(|e| {
+        let server = RtmServer::start(Arc::clone(&monitor), addr).unwrap_or_else(|e| {
             eprintln!("error: cannot bind monitor server: {e}");
             exit(1)
         });
         println!("AkitaRTM listening on {}", server.url());
-        Some(server)
+        if args.watchdog {
+            // Holding: freeze the stall for inspection. Batch: end the run
+            // so the process exits with the documented code instead of
+            // hanging CI.
+            let config = monitor.enable_watchdog(WatchdogConfig {
+                auto_pause: args.hold,
+                stop_on_stall: !args.hold,
+                ..WatchdogConfig::default()
+            });
+            println!(
+                "watchdog armed: {} ms x {} checks{}",
+                config.interval.as_millis(),
+                config.stall_checks,
+                if config.stop_on_stall {
+                    " (a stall ends the run)"
+                } else {
+                    " (a stall pauses the simulation)"
+                }
+            );
+        }
+        Some((monitor, server))
     };
 
+    // The watchdog and fault plans need the engine answering queries and
+    // surviving handler panics, so those paths run caught + interactive.
+    let resilient = args.watchdog || args.faults.is_some();
     let start = std::time::Instant::now();
     let summary = if args.hold {
         println!("--hold: the simulation stays inspectable; terminate from the dashboard.");
-        platform.sim.run_interactive()
+        platform.sim.run_caught(true)
+    } else if resilient {
+        platform.sim.run_caught(args.watchdog)
     } else {
         platform.sim.run()
     };
@@ -410,8 +476,37 @@ fn main() {
         wall.as_secs_f64(),
         summary.events as f64 / wall.as_secs_f64().max(1e-9) / 1e6,
     );
+
+    if summary.reason == akita::StopReason::Crashed {
+        let crash = platform.sim.client().crash_info();
+        match &crash {
+            Some(c) => println!(
+                "CRASH: component `{}` panicked after {} events: {}",
+                c.component, c.events, c.message
+            ),
+            None => println!("CRASH: a component handler panicked"),
+        }
+        if args.hold {
+            println!("--hold: serving post-mortem queries; terminate from the dashboard.");
+            platform.sim.serve_post_mortem();
+        }
+        drop(monitored);
+        exit(6);
+    }
+
+    let stall = monitored
+        .as_ref()
+        .and_then(|(monitor, _)| monitor.watchdog_stall());
     if platform.driver.borrow().finished() {
         println!("workload completed.");
+    } else if let Some(stall) = &stall {
+        println!("workload DID NOT complete — watchdog: {}", stall.detail);
+        for cycle in &stall.cycles {
+            println!("  blocked cycle: {}", cycle.join(" -> "));
+        }
+        for suspect in &stall.suspects {
+            println!("  suspect: {suspect}");
+        }
     } else {
         println!("workload DID NOT complete — the simulation quiesced early (hang?).");
         println!("rerun with --hold to inspect it through the dashboard.");
@@ -419,7 +514,16 @@ fn main() {
     for bar in platform.progress.snapshot() {
         println!("  {}: {}/{}", bar.name, bar.finished, bar.total);
     }
-    drop(server);
+    drop(monitored);
+    let genuine_stall = stall.as_ref().is_some_and(|s| {
+        matches!(
+            s.kind,
+            akita_rtm::StallKind::Livelock | akita_rtm::StallKind::Backpressure
+        )
+    });
+    if genuine_stall {
+        exit(5);
+    }
     if !platform.driver.borrow().finished() && !args.hold {
         exit(3);
     }

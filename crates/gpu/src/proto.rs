@@ -7,14 +7,14 @@ use akita::{impl_msg, MsgMeta, PortId};
 use crate::kernel::{Kernel, WorkGroupSpec};
 
 /// Driver → dispatcher: run this kernel.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LaunchKernelMsg {
     /// Message metadata.
     pub meta: MsgMeta,
     /// The kernel to run.
     pub kernel: Rc<dyn Kernel>,
 }
-impl_msg!(LaunchKernelMsg);
+impl_msg!(LaunchKernelMsg, clone);
 
 impl LaunchKernelMsg {
     /// Creates a launch message addressed to `dst`.
@@ -27,12 +27,12 @@ impl LaunchKernelMsg {
 }
 
 /// Dispatcher → driver: the current kernel finished.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct KernelDoneMsg {
     /// Message metadata.
     pub meta: MsgMeta,
 }
-impl_msg!(KernelDoneMsg);
+impl_msg!(KernelDoneMsg, clone);
 
 impl KernelDoneMsg {
     /// Creates a completion message addressed to `dst`.
@@ -44,7 +44,7 @@ impl KernelDoneMsg {
 }
 
 /// Dispatcher → CU: execute this workgroup.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DispatchWgMsg {
     /// Message metadata.
     pub meta: MsgMeta,
@@ -57,7 +57,7 @@ pub struct DispatchWgMsg {
     /// Kernel argument segment (scalar loads).
     pub args_base: u64,
 }
-impl_msg!(DispatchWgMsg);
+impl_msg!(DispatchWgMsg, clone);
 
 impl DispatchWgMsg {
     /// Creates a dispatch message addressed to `dst`.
@@ -80,14 +80,14 @@ impl DispatchWgMsg {
 }
 
 /// CU → dispatcher: a workgroup completed.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WgDoneMsg {
     /// Message metadata.
     pub meta: MsgMeta,
     /// Grid-wide workgroup index.
     pub wg_idx: u64,
 }
-impl_msg!(WgDoneMsg);
+impl_msg!(WgDoneMsg, clone);
 
 impl WgDoneMsg {
     /// Creates a completion message addressed to `dst`.

@@ -11,7 +11,7 @@ use akita::{impl_msg, MsgId, MsgMeta, PortId};
 pub type Addr = u64;
 
 /// A read request for `size` bytes at `addr`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReadReq {
     /// Message metadata.
     pub meta: MsgMeta,
@@ -20,7 +20,7 @@ pub struct ReadReq {
     /// Bytes requested.
     pub size: u32,
 }
-impl_msg!(ReadReq);
+impl_msg!(ReadReq, clone);
 
 impl ReadReq {
     /// Creates a read request addressed to `dst`.
@@ -32,7 +32,7 @@ impl ReadReq {
 }
 
 /// A write request of `size` bytes at `addr` (timing-only: no data payload).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WriteReq {
     /// Message metadata.
     pub meta: MsgMeta,
@@ -41,7 +41,7 @@ pub struct WriteReq {
     /// Bytes written.
     pub size: u32,
 }
-impl_msg!(WriteReq);
+impl_msg!(WriteReq, clone);
 
 impl WriteReq {
     /// Creates a write request addressed to `dst`. The wire traffic includes
@@ -53,7 +53,7 @@ impl WriteReq {
 }
 
 /// The data response completing a [`ReadReq`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DataReadyRsp {
     /// Message metadata.
     pub meta: MsgMeta,
@@ -62,7 +62,7 @@ pub struct DataReadyRsp {
     /// Bytes carried (mirrors the request size).
     pub size: u32,
 }
-impl_msg!(DataReadyRsp);
+impl_msg!(DataReadyRsp, clone);
 
 impl DataReadyRsp {
     /// Creates a data response to request `respond_to`, addressed to `dst`.
@@ -77,14 +77,14 @@ impl DataReadyRsp {
 }
 
 /// The acknowledgment completing a [`WriteReq`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WriteDoneRsp {
     /// Message metadata.
     pub meta: MsgMeta,
     /// Id of the request this answers.
     pub respond_to: MsgId,
 }
-impl_msg!(WriteDoneRsp);
+impl_msg!(WriteDoneRsp, clone);
 
 impl WriteDoneRsp {
     /// Creates a write acknowledgment to request `respond_to`, addressed to
@@ -100,12 +100,12 @@ impl WriteDoneRsp {
 /// MGPUSim flushes caches at kernel boundaries; the dispatcher sends this
 /// to every cache's control port and waits for the [`FlushDoneRsp`]s
 /// before the next kernel launches.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FlushReq {
     /// Message metadata.
     pub meta: MsgMeta,
 }
-impl_msg!(FlushReq);
+impl_msg!(FlushReq, clone);
 
 impl FlushReq {
     /// Creates a flush request addressed to `dst`.
@@ -117,14 +117,14 @@ impl FlushReq {
 }
 
 /// Completion of a [`FlushReq`]: the cache is clean and empty.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FlushDoneRsp {
     /// Message metadata.
     pub meta: MsgMeta,
     /// Id of the flush request this answers.
     pub respond_to: MsgId,
 }
-impl_msg!(FlushDoneRsp);
+impl_msg!(FlushDoneRsp, clone);
 
 impl FlushDoneRsp {
     /// Creates a flush acknowledgment to request `respond_to`.

@@ -201,6 +201,46 @@ impl AlertEngine {
         None
     }
 
+    /// Records an alert fired by an external detector — the stall watchdog
+    /// (`crate::watchdog`) — so it shows up in [`AlertEngine::statuses`]
+    /// and `/api/alerts` alongside rule-driven firings. The synthetic rule
+    /// is stored pre-fired; [`AlertEngine::evaluate`] never samples it.
+    pub fn fire_external(
+        &self,
+        component: &str,
+        field: &str,
+        sim_time: VTime,
+        value: f64,
+        paused: bool,
+    ) -> FiredAlert {
+        let id = AlertId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let fired = FiredAlert {
+            id,
+            sim_time,
+            value,
+            paused,
+        };
+        self.rules
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(
+                id,
+                AlertState {
+                    rule: AlertRule {
+                        component: component.into(),
+                        field: field.into(),
+                        op: AlertOp::Above,
+                        threshold: 0.0,
+                        consecutive: 1,
+                        pause: paused,
+                    },
+                    streak: 0,
+                    fired: Some(fired.clone()),
+                },
+            );
+        fired
+    }
+
     /// Samples every rule once through `client` and reacts (records the
     /// firing; pauses the simulation when the rule asks). Returns the
     /// alerts fired by this pass.
@@ -311,6 +351,19 @@ mod tests {
         assert!(!eng.remove(id));
         assert!(eng.is_empty());
         assert!(eng.observe(id, VTime::ZERO, 5.0).is_none());
+    }
+
+    #[test]
+    fn external_firings_land_pre_fired_and_are_never_sampled() {
+        let eng = AlertEngine::new();
+        let fired = eng.fire_external("<watchdog>", "stall.livelock", VTime::from_ns(3), 5.0, true);
+        assert!(fired.paused);
+        let statuses = eng.statuses();
+        assert_eq!(statuses.len(), 1);
+        assert_eq!(statuses[0].rule.component, "<watchdog>");
+        assert_eq!(statuses[0].fired, Some(fired.clone()));
+        // Pre-fired: observe() ignores it, so a sampler pass can't re-fire.
+        assert!(eng.observe(fired.id, VTime::from_ns(9), 99.0).is_none());
     }
 
     #[test]

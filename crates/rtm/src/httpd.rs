@@ -8,13 +8,48 @@
 //! other dashboard clients. Every response carries `Content-Length` and
 //! `Connection: close`, which both browsers and the in-tree
 //! [`client`](crate::client) handle.
+//!
+//! The server is hardened against misbehaving peers and handlers
+//! ([`HttpConfig`]): request heads and bodies are size-bounded (`413`),
+//! a stalled client trips the per-connection read timeout (`408`), a
+//! panicking handler becomes a `500` without killing the connection
+//! thread pool, and dropping the server force-closes live connections so
+//! shutdown is bounded even with an idle client attached.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Transport limits and timeouts for [`HttpServer::serve_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpConfig {
+    /// How long a connection may sit idle while we wait for (more of) the
+    /// request before answering `408 Request Timeout`.
+    pub read_timeout: Duration,
+    /// Socket write timeout for the response.
+    pub write_timeout: Duration,
+    /// Largest accepted request body; a larger `Content-Length` is
+    /// answered `413 Payload Too Large` without reading the body.
+    pub max_body: usize,
+    /// Largest accepted request head (request line + headers combined);
+    /// exceeding it is answered `413`.
+    pub max_header: usize,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body: 1024 * 1024,
+            max_header: 16 * 1024,
+        }
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Debug)]
@@ -65,14 +100,31 @@ pub struct Response {
 
 impl Response {
     /// A JSON response with the given status.
+    ///
+    /// Serialization failure does not panic the connection thread: it
+    /// degrades to a `500` whose body names the error.
     pub fn json(status: u16, value: &impl serde::Serialize) -> Response {
+        match serde_json::to_string(value) {
+            Ok(body) => Response {
+                status,
+                content_type: "application/json",
+                headers: Vec::new(),
+                body: body.into_bytes(),
+            },
+            Err(e) => Response::error_500(&format!("response serialization failed: {e}")),
+        }
+    }
+
+    /// A `500 Internal Server Error` with a JSON error body. The message
+    /// is JSON-escaped by hand so this path cannot itself fail.
+    pub fn error_500(message: &str) -> Response {
+        let escaped = serde_json::to_string(message)
+            .unwrap_or_else(|_| "\"internal server error\"".to_owned());
         Response {
-            status,
+            status: 500,
             content_type: "application/json",
             headers: Vec::new(),
-            body: serde_json::to_string(value)
-                .expect("shim serialization is infallible")
-                .into_bytes(),
+            body: format!("{{\"error\":{escaped}}}").into_bytes(),
         }
     }
 
@@ -110,6 +162,9 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
@@ -184,23 +239,71 @@ fn parse_query(raw: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
-    let mut reader = BufReader::new(stream.try_clone()?);
+/// Why a request could not be read off the wire, mapped to a response
+/// status in [`handle_connection`].
+enum ReadError {
+    /// Head or declared body exceeds the configured bound → 413.
+    TooLarge(String),
+    /// The client went quiet mid-request → 408.
+    Timeout,
+    /// Syntactically broken request line / truncated head → 400.
+    Malformed(&'static str),
+    /// Transport error (peer reset, etc.); nothing useful to answer.
+    Io,
+}
+
+fn classify_io(e: &std::io::Error) -> ReadError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReadError::Timeout,
+        _ => ReadError::Io,
+    }
+}
+
+fn read_request(stream: &mut TcpStream, config: &HttpConfig) -> Result<Request, ReadError> {
+    // The head is read through a hard `Take` bound so a peer streaming an
+    // endless header (or a request line with no newline) can never grow
+    // our buffers past `max_header`.
+    let raw = stream.try_clone().map_err(|_| ReadError::Io)?;
+    let mut reader = BufReader::new(raw.take(config.max_header as u64));
+    let mut consumed = 0usize;
+
     let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    let n = reader
+        .read_line(&mut request_line)
+        .map_err(|e| classify_io(&e))?;
+    consumed += n;
+    if !request_line.ends_with('\n') {
+        return Err(if consumed >= config.max_header {
+            ReadError::TooLarge(format!("request head exceeds {} bytes", config.max_header))
+        } else {
+            ReadError::Malformed("truncated request line")
+        });
+    }
     let mut parts = request_line.split_whitespace();
-    let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed request line");
-    let method = parts.next().ok_or_else(bad)?.to_ascii_uppercase();
-    let target = parts.next().ok_or_else(bad)?;
+    let method = parts
+        .next()
+        .ok_or(ReadError::Malformed("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or(ReadError::Malformed("missing target"))?;
     let (path_raw, query_raw) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
+    let path = percent_decode(path_raw);
+    let query = parse_query(query_raw);
 
     let mut content_length = 0usize;
     loop {
         let mut line = String::new();
-        reader.read_line(&mut line)?;
+        let n = reader.read_line(&mut line).map_err(|e| classify_io(&e))?;
+        consumed += n;
+        if !line.ends_with('\n') {
+            return Err(if consumed >= config.max_header {
+                ReadError::TooLarge(format!("request head exceeds {} bytes", config.max_header))
+            } else {
+                ReadError::Malformed("truncated header section")
+            });
+        }
         let line = line.trim_end();
         if line.is_empty() {
             break;
@@ -212,30 +315,80 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
         }
     }
 
+    if content_length > config.max_body {
+        return Err(ReadError::TooLarge(format!(
+            "request body of {content_length} bytes exceeds the {} byte limit",
+            config.max_body
+        )));
+    }
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
-        reader.read_exact(&mut body)?;
+        // Widen the remaining `Take` allowance to cover the (validated)
+        // body; part of it may already sit in the BufReader's buffer.
+        reader.get_mut().set_limit(content_length as u64);
+        reader.read_exact(&mut body).map_err(|e| classify_io(&e))?;
     }
 
     Ok(Request {
         method,
-        path: percent_decode(path_raw),
-        query: parse_query(query_raw),
+        path,
+        query,
         body,
     })
 }
 
-/// A running HTTP server; dropping it does **not** stop it — see
-/// [`HttpServer::stop`].
+/// The live-connection registry: stream clones the server can shut down
+/// to unblock their threads at stop time.
+#[derive(Debug, Default)]
+struct Connections {
+    next_id: AtomicU64,
+    streams: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl Connections {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((id, clone));
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.streams
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|(i, _)| *i != id);
+    }
+
+    fn shutdown_all(&self) {
+        for (_, s) in self
+            .streams
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// A running HTTP server. [`HttpServer::stop`] (also called on drop)
+/// force-closes live connections, so shutdown is bounded even while a
+/// client is attached and idle.
 #[derive(Debug)]
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    conns: Arc<Connections>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl HttpServer {
-    /// Binds `addr` and serves `handler` on a background acceptor thread.
+    /// Binds `addr` and serves `handler` on a background acceptor thread
+    /// with the default [`HttpConfig`].
     ///
     /// # Errors
     ///
@@ -244,18 +397,37 @@ impl HttpServer {
     where
         H: Fn(&Request) -> Response + Send + Sync + 'static,
     {
+        HttpServer::serve_with(addr, HttpConfig::default(), handler)
+    }
+
+    /// Binds `addr` and serves `handler` with explicit transport limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn serve_with<H>(
+        addr: SocketAddr,
+        config: HttpConfig,
+        handler: H,
+    ) -> std::io::Result<HttpServer>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Connections::default());
         let stop_flag = Arc::clone(&stop);
+        let conns_flag = Arc::clone(&conns);
         let handler = Arc::new(handler);
         let thread = std::thread::Builder::new()
             .name("rtm-server".into())
-            .spawn(move || accept_loop(&listener, &stop_flag, &handler))?;
+            .spawn(move || accept_loop(&listener, &stop_flag, &conns_flag, config, &handler))?;
         Ok(HttpServer {
             addr: local,
             stop,
+            conns,
             thread: Some(thread),
         })
     }
@@ -265,48 +437,104 @@ impl HttpServer {
         self.addr
     }
 
-    /// Signals the acceptor to stop and joins it. In-flight connection
-    /// threads finish their current response on their own.
+    /// Signals the acceptor to stop, force-closes live connections, and
+    /// joins every connection thread. Bounded: blocked reads and writes
+    /// error out immediately once their sockets are shut down.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        self.conns.shutdown_all();
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
     }
 }
 
-fn accept_loop<H>(listener: &TcpListener, stop: &AtomicBool, handler: &Arc<H>)
-where
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop<H>(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    conns: &Arc<Connections>,
+    config: HttpConfig,
+    handler: &Arc<H>,
+) where
     H: Fn(&Request) -> Response + Send + Sync + 'static,
 {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
                 let handler = Arc::clone(handler);
+                let conns2 = Arc::clone(conns);
                 // One short-lived thread per connection: handlers may block
                 // on the engine's reply without holding up other clients.
-                let _ = std::thread::Builder::new()
-                    .name("rtm-conn".into())
-                    .spawn(move || handle_connection(stream, &*handler));
+                // Registered so stop() can cut a stalled peer loose.
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("rtm-conn".into())
+                        .spawn(move || {
+                            let id = conns2.register(&stream);
+                            handle_connection(stream, config, &*handler);
+                            if let Some(id) = id {
+                                conns2.deregister(id);
+                            }
+                        });
+                if let Ok(h) = spawned {
+                    workers.push(h);
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
+        workers.retain(|h| !h.is_finished());
+    }
+    // stop() already shut the registered sockets down; reads and writes
+    // in flight fail fast, so this join is bounded.
+    conns.shutdown_all();
+    for h in workers {
+        let _ = h.join();
     }
 }
 
-fn handle_connection<H>(mut stream: TcpStream, handler: &H)
+fn handle_connection<H>(mut stream: TcpStream, config: HttpConfig, handler: &H)
 where
     H: Fn(&Request) -> Response,
 {
     let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
     let _ = stream.set_nodelay(true);
-    if let Ok(request) = read_request(&mut stream) {
-        let response = handler(&request);
+    let response = match read_request(&mut stream, &config) {
+        Ok(request) => {
+            // A panicking route handler answers 500 and leaves the server
+            // (and every other connection) alive.
+            match std::panic::catch_unwind(AssertUnwindSafe(|| handler(&request))) {
+                Ok(response) => Some(response),
+                Err(_) => Some(Response::error_500("handler panicked")),
+            }
+        }
+        Err(ReadError::TooLarge(detail)) => {
+            Some(Response::json(413, &serde_json::json!({ "error": detail })))
+        }
+        Err(ReadError::Timeout) => Some(Response::json(
+            408,
+            &serde_json::json!({ "error": "timed out reading the request" }),
+        )),
+        Err(ReadError::Malformed(detail)) => {
+            Some(Response::json(400, &serde_json::json!({ "error": detail })))
+        }
+        Err(ReadError::Io) => None,
+    };
+    if let Some(response) = response {
         let _ = response.write_to(&mut stream);
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -315,6 +543,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn percent_decoding() {
@@ -369,5 +598,110 @@ mod tests {
         assert_eq!(missing.status, 404);
         let mut server = server;
         server.stop();
+    }
+
+    fn echo_server(config: HttpConfig) -> HttpServer {
+        HttpServer::serve_with("127.0.0.1:0".parse().unwrap(), config, |req: &Request| {
+            Response::text(200, &format!("{} bytes", req.body.len()))
+        })
+        .expect("bind")
+    }
+
+    fn raw_roundtrip(addr: SocketAddr, request: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(request).expect("write");
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        out
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_without_reading_it() {
+        let server = echo_server(HttpConfig {
+            max_body: 64,
+            ..HttpConfig::default()
+        });
+        // Only the head is sent: the 413 must come from the declaration.
+        let rsp = raw_roundtrip(
+            server.addr(),
+            b"POST /x HTTP/1.1\r\nContent-Length: 100000\r\n\r\n",
+        );
+        assert!(rsp.starts_with("HTTP/1.1 413 "), "{rsp}");
+    }
+
+    #[test]
+    fn in_bounds_body_still_round_trips() {
+        let server = echo_server(HttpConfig {
+            max_body: 64,
+            ..HttpConfig::default()
+        });
+        let rsp = raw_roundtrip(
+            server.addr(),
+            b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        assert!(rsp.starts_with("HTTP/1.1 200 "), "{rsp}");
+        assert!(rsp.ends_with("5 bytes"), "{rsp}");
+    }
+
+    #[test]
+    fn oversized_head_is_413_even_without_a_newline() {
+        let server = echo_server(HttpConfig {
+            max_header: 256,
+            ..HttpConfig::default()
+        });
+        // A request line that never ends: the Take bound must cut it off.
+        let mut req = b"GET /".to_vec();
+        req.extend(std::iter::repeat_n(b'a', 4096));
+        let rsp = raw_roundtrip(server.addr(), &req);
+        assert!(rsp.starts_with("HTTP/1.1 413 "), "{rsp}");
+    }
+
+    #[test]
+    fn silent_client_gets_408_within_the_read_timeout() {
+        let server = echo_server(HttpConfig {
+            read_timeout: Duration::from_millis(50),
+            ..HttpConfig::default()
+        });
+        let start = Instant::now();
+        let rsp = raw_roundtrip(server.addr(), b"GET /never-finished");
+        assert!(rsp.starts_with("HTTP/1.1 408 "), "{rsp}");
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn panicking_handler_is_a_500_and_the_server_survives() {
+        let server = HttpServer::serve("127.0.0.1:0".parse().unwrap(), |req: &Request| {
+            if req.path == "/boom" {
+                panic!("handler bug");
+            }
+            Response::text(200, "fine")
+        })
+        .expect("bind");
+        let addr = server.addr();
+        let boom = crate::client::get(addr, "/boom").expect("get");
+        assert_eq!(boom.status, 500);
+        assert!(boom.body.contains("handler panicked"), "{}", boom.body);
+        let after = crate::client::get(addr, "/ok").expect("get");
+        assert_eq!(after.status, 200);
+    }
+
+    /// Satellite: dropping the server with a live idle client attached
+    /// must not wait out the 10 s read timeout — stop() force-closes the
+    /// connection and joins its thread.
+    #[test]
+    fn drop_with_live_idle_client_is_bounded() {
+        let server = echo_server(HttpConfig::default());
+        let addr = server.addr();
+        let idle = TcpStream::connect(addr).expect("connect");
+        // Let the acceptor pick the connection up before dropping.
+        std::thread::sleep(Duration::from_millis(100));
+        let start = Instant::now();
+        drop(server);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "drop took {:?} with an idle client attached",
+            start.elapsed()
+        );
+        drop(idle);
     }
 }

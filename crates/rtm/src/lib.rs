@@ -41,9 +41,13 @@ mod monitor;
 mod resources;
 mod server;
 mod timeseries;
+pub mod watchdog;
 
 pub use alerts::{AlertEngine, AlertId, AlertOp, AlertRule, AlertStatus, FiredAlert};
 pub use monitor::{sort_buffers, BufferSort, Monitor};
 pub use resources::{ResourceSampler, ResourceUsage};
 pub use server::{route, RtmServer, INDEX_HTML};
 pub use timeseries::{Point, Series, ValueMonitor, WatchId, MAX_POINTS};
+pub use watchdog::{
+    BufferDwell, StallKind, StallReport, Watchdog, WatchdogConfig, WatchdogParams, WatchdogStatus,
+};

@@ -27,7 +27,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use akita::{
-    trace, BufferSnapshot, ComponentInfo, ComponentStateDto, EngineStatus, EventCounts, LintReport,
+    trace, ActivityStamp, BufferSnapshot, ComponentInfo, ComponentStateDto, CrashInfo,
+    EngineStatus, EventCounts, FaultInstallSummary, FaultPlan, FaultReport, LintReport,
     ProfileReport, ProgressBarId, ProgressRegistry, ProgressSnapshot, QueryClient, QueryError,
     RunState, Simulation, TaskTraceReport, TopologyEdge, TraceRecord, VTime,
 };
@@ -36,6 +37,7 @@ use serde::{Deserialize, Serialize};
 use crate::alerts::{AlertEngine, AlertId, AlertRule, AlertStatus};
 use crate::resources::{ResourceSampler, ResourceUsage};
 use crate::timeseries::{Series, ValueMonitor, WatchId};
+use crate::watchdog::{StallReport, Watchdog, WatchdogConfig, WatchdogStatus};
 
 /// How to order the buffer analyzer table (paper Fig 3: "Sort by: Size |
 /// Percent").
@@ -71,6 +73,8 @@ pub struct Monitor {
     /// Per-event-kind counters, when the host wired an
     /// [`akita::EventCountHook`] in via [`Monitor::set_event_counts`].
     event_counts: Mutex<Option<EventCounts>>,
+    /// The stall watchdog, once [`Monitor::enable_watchdog`] installed it.
+    watchdog: Mutex<Option<Watchdog>>,
     /// Dropping this wakes and stops the sampler thread immediately.
     sampler_stop: Option<mpsc::Sender<()>>,
     sampler: Option<JoinHandle<()>>,
@@ -123,6 +127,7 @@ impl Monitor {
             alerts,
             rate,
             event_counts: Mutex::new(None),
+            watchdog: Mutex::new(None),
             sampler_stop: Some(stop_tx),
             sampler: Some(sampler),
         }
@@ -162,7 +167,10 @@ impl Monitor {
     /// Returns the last computed rate when called faster than the window;
     /// 0.0 until the first window elapses or while the engine is idle.
     pub fn events_per_sec(&self) -> f64 {
-        let mut r = self.rate.lock().expect("event-rate lock");
+        let mut r = self
+            .rate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let elapsed = r.last_instant.elapsed();
         if elapsed >= RATE_WINDOW {
             let events = self.client.events_handled();
@@ -447,6 +455,102 @@ impl Monitor {
             .map(EventCounts::all)
     }
 
+    // --- Stall watchdog (crate::watchdog) ---------------------------------
+
+    /// Installs and starts the stall watchdog; replaces (and joins) any
+    /// previous one. Returns its effective configuration.
+    pub fn enable_watchdog(&self, config: WatchdogConfig) -> WatchdogConfig {
+        let mut dog = Watchdog::new(&self.client, Arc::clone(&self.alerts), config);
+        dog.start();
+        *self
+            .watchdog
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(dog);
+        config
+    }
+
+    /// Stops and removes the watchdog; returns whether one was running.
+    pub fn disable_watchdog(&self) -> bool {
+        self.watchdog
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .is_some()
+    }
+
+    /// The watchdog's live status, when enabled.
+    pub fn watchdog_status(&self) -> Option<WatchdogStatus> {
+        self.watchdog
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+            .map(Watchdog::status)
+    }
+
+    /// The declared stall, when the watchdog tripped.
+    pub fn watchdog_stall(&self) -> Option<StallReport> {
+        self.watchdog
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+            .and_then(Watchdog::stall)
+    }
+
+    /// Forces one synchronous watchdog heartbeat (deterministic tests).
+    pub fn watchdog_check_now(&self) -> Option<StallReport> {
+        self.watchdog
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+            .and_then(Watchdog::check_once)
+    }
+
+    // --- Fault injection (akita::faults) ----------------------------------
+
+    /// Installs a fault plan into the running simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn install_faults(&self, plan: FaultPlan) -> Result<FaultInstallSummary, QueryError> {
+        self.client.install_faults(plan)
+    }
+
+    /// The live fault report: every installed rule with decision and
+    /// injection counters.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn faults(&self) -> Result<FaultReport, QueryError> {
+        self.client.faults()
+    }
+
+    /// Turns per-component last-activity stamping on or off.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Disconnected`] when the simulation is gone.
+    pub fn set_activity_stamps(&self, on: bool) -> Result<(), QueryError> {
+        self.client.set_activity_stamps(on)
+    }
+
+    /// Per-component last-event timestamps (empty unless stamping is on).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] when the simulation is gone or unresponsive.
+    pub fn activity(&self) -> Result<Vec<ActivityStamp>, QueryError> {
+        self.client.activity()
+    }
+
+    /// Details of the crash, when a component handler panicked under
+    /// [`akita::Simulation::run_caught`]. Lock-free; answers even while
+    /// the simulation thread is gone.
+    pub fn crash_info(&self) -> Option<CrashInfo> {
+        self.client.crash_info()
+    }
+
     /// The underlying query client (for advanced integrations).
     pub fn client(&self) -> &QueryClient {
         &self.client
@@ -455,6 +559,15 @@ impl Monitor {
 
 impl Drop for Monitor {
     fn drop(&mut self) {
+        // Watchdog first (it may hold a client and pause the engine),
+        // then the sampler; both stop via dropped senders and join, so a
+        // monitor drop is bounded by one sampling interval each.
+        drop(
+            self.watchdog
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take(),
+        );
         drop(self.sampler_stop.take());
         if let Some(h) = self.sampler.take() {
             let _ = h.join();

@@ -17,13 +17,14 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 use serde_json::json;
 
-use akita::QueryError;
+use akita::{FaultPlan, QueryError, RunState};
 
 use crate::alerts::{AlertId, AlertRule};
 use crate::httpd::{HttpServer, Request, Response};
 use crate::metrics;
 use crate::monitor::{BufferSort, Monitor};
 use crate::timeseries::WatchId;
+use crate::watchdog::WatchdogParams;
 
 /// The embedded single-page dashboard.
 pub const INDEX_HTML: &str = include_str!("../static/index.html");
@@ -66,16 +67,55 @@ fn api_now(m: &Monitor) -> Response {
 }
 
 /// Engine status plus the monitor-side throughput estimate.
+///
+/// Crash-resilient: when the simulation thread died in a component panic
+/// (and is not serving post-mortem queries), the status query fails — but
+/// the lock-free control block still knows the state is `Crashed` and
+/// holds the [`akita::CrashInfo`], so this answers 200 with a post-mortem
+/// payload instead of a misleading 503.
 fn api_status(m: &Monitor) -> Response {
     match m.status() {
-        Ok(status) => {
-            let mut v = serde_json::to_value(status).expect("status serializes");
-            if let serde_json::Value::Object(fields) = &mut v {
-                fields.push(("events_per_sec".into(), json!((m.events_per_sec()))));
+        Ok(status) => match serde_json::to_value(status) {
+            Ok(mut v) => {
+                if let serde_json::Value::Object(fields) = &mut v {
+                    fields.push(("events_per_sec".into(), json!((m.events_per_sec()))));
+                    if let Some(crash) = m.crash_info() {
+                        fields.push(("crash".into(), json!(crash)));
+                    }
+                }
+                ok_json(&v)
             }
-            ok_json(&v)
+            Err(e) => Response::json(500, &json!({ "error": (e.to_string()) })),
+        },
+        Err(e) => {
+            if m.run_state() == RunState::Crashed || m.crash_info().is_some() {
+                ok_json(&json!({
+                    "now_ps": (m.now().ps()),
+                    "state": (RunState::Crashed),
+                    "events": (m.client().events_handled()),
+                    "events_per_sec": 0.0,
+                    "crash": (m.crash_info()),
+                }))
+            } else {
+                query_error(&e)
+            }
         }
-        Err(e) => query_error(&e),
+    }
+}
+
+/// Watchdog status, or `{"enabled": false}` when none is installed.
+fn api_watchdog(m: &Monitor) -> Response {
+    match m.watchdog_status() {
+        Some(status) => match serde_json::to_value(&status) {
+            Ok(mut v) => {
+                if let serde_json::Value::Object(fields) = &mut v {
+                    fields.push(("enabled".into(), json!(true)));
+                }
+                ok_json(&v)
+            }
+            Err(e) => Response::json(500, &json!({ "error": (e.to_string()) })),
+        },
+        None => ok_json(&json!({ "enabled": false })),
     }
 }
 
@@ -158,8 +198,10 @@ fn allowed_methods(path: &str) -> Option<&'static str> {
         "/" | "/api/now" | "/api/status" | "/api/components" | "/api/component"
         | "/api/buffers" | "/api/progress" | "/api/resources" | "/api/analysis"
         | "/api/topology" | "/api/trace" | "/api/trace/export" | "/api/alerts" | "/api/watches"
-        | "/api/metrics" | "/api/tasktrace" => Some("GET"),
+        | "/api/metrics" | "/api/tasktrace" | "/api/faults" | "/api/activity" => Some("GET"),
         "/api/profile" => Some("GET"),
+        "/api/watchdog" => Some("GET, DELETE"),
+        "/api/watchdog/enable" | "/api/faults/inject" | "/api/activity/enable" => Some("POST"),
         "/api/profile/enable"
         | "/api/pause"
         | "/api/continue"
@@ -278,6 +320,34 @@ pub fn route(m: &Monitor, req: &Request) -> Response {
         }
         ("POST", "/api/trace/enable") => match req.json_body::<EnableBody>() {
             Ok(body) => match m.set_tracing(body.enabled) {
+                Ok(()) => ok_json(&json!({ "ok": true, "enabled": (body.enabled) })),
+                Err(e) => query_error(&e),
+            },
+            Err(e) => bad_request(&e),
+        },
+        ("GET", "/api/watchdog") => api_watchdog(m),
+        ("POST", "/api/watchdog/enable") => match req.json_body::<WatchdogParams>() {
+            Ok(params) => {
+                let config = m.enable_watchdog(params.into());
+                ok_json(&json!({
+                    "ok": true,
+                    "interval_ms": (config.interval.as_millis() as u64),
+                    "stall_checks": (config.stall_checks),
+                    "auto_pause": (config.auto_pause),
+                    "stop_on_stall": (config.stop_on_stall),
+                }))
+            }
+            Err(e) => bad_request(&e),
+        },
+        ("DELETE", "/api/watchdog") => ok_json(&json!({ "ok": (m.disable_watchdog()) })),
+        ("GET", "/api/faults") => respond(m.faults()),
+        ("POST", "/api/faults/inject") => match req.json_body::<FaultPlan>() {
+            Ok(plan) => respond(m.install_faults(plan)),
+            Err(e) => bad_request(&e),
+        },
+        ("GET", "/api/activity") => respond(m.activity()),
+        ("POST", "/api/activity/enable") => match req.json_body::<EnableBody>() {
+            Ok(body) => match m.set_activity_stamps(body.enabled) {
                 Ok(()) => ok_json(&json!({ "ok": true, "enabled": (body.enabled) })),
                 Err(e) => query_error(&e),
             },

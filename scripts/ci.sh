@@ -25,6 +25,32 @@ cargo bench --offline --workspace --no-run
 echo "==> engine throughput smoke (sanity floor + tracing on/off overhead)"
 cargo run --offline --release -q -p rtm-bench --bin bench_engine -- --smoke
 
+echo "==> fault-injection smoke (determinism, clean drop drain, hang diagnosis)"
+cargo run --offline --release -q -p rtm-bench --bin fault_smoke
+
+echo "==> watchdog catches the canned stuck-full hang plan (rtm-sim exit 5)"
+# The canned plan wedges GPU[0].L2[0]'s front door; the armed watchdog must
+# end the run with the documented stall exit code and name the injected
+# site in its diagnosis.
+hang_out="$(mktemp)"
+set +e
+cargo run --offline --release -q -p akita-rtm-cli --bin rtm-sim -- \
+    run --workload fir --faults plans/hang_l2.json --watchdog >"$hang_out" 2>&1
+hang_rc=$?
+set -e
+if [ "$hang_rc" -ne 5 ]; then
+    echo "FAIL: expected watchdog stall exit code 5, got $hang_rc" >&2
+    cat "$hang_out" >&2
+    exit 1
+fi
+if ! grep -q "injected stuck-full fault" "$hang_out"; then
+    echo "FAIL: stall diagnosis never named the injected site" >&2
+    cat "$hang_out" >&2
+    exit 1
+fi
+echo "watchdog hang gate OK (exit 5, injected site named)"
+rm -f "$hang_out"
+
 echo "==> chrome trace export shape (rtm-sim trace)"
 trace_out="$(mktemp -d)/trace.json"
 cargo run --offline --release -q -p akita-rtm-cli --bin rtm-sim -- \
