@@ -14,13 +14,15 @@
 //! The hub is per-simulation (carried by [`crate::BufferRegistry`], which is
 //! already threaded through every port and buffer constructor), not
 //! process-global, so parallel tests cannot contaminate each other. When no
-//! plan is installed the only cost on hot paths is a single `Cell<bool>`
-//! load behind an `Rc`.
+//! plan is installed the only cost on hot paths is a single relaxed atomic
+//! load behind an `Arc`. The hub is `Send + Sync` so the parallel engine's
+//! partition workers can consult their sites concurrently; rule state sits
+//! behind a `Mutex` that is only contended while faults are armed.
 
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
@@ -313,12 +315,19 @@ impl HubInner {
 struct HubShared {
     /// True when any message/buffer rule is armed — the only flag hot
     /// paths look at when no faults are in play.
-    enabled: Cell<bool>,
+    enabled: AtomicBool,
     /// Current virtual time, published by the engine per event while
     /// faults are armed, so buffer-level windows can be evaluated without
-    /// access to a `Ctx`.
-    now_ps: Cell<u64>,
-    inner: RefCell<HubInner>,
+    /// access to a `Ctx`. The parallel engine publishes the window start
+    /// once per window instead.
+    now_ps: AtomicU64,
+    inner: Mutex<HubInner>,
+}
+
+impl HubShared {
+    fn inner(&self) -> std::sync::MutexGuard<'_, HubInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A per-simulation registry of injection sites and armed fault rules.
@@ -327,14 +336,14 @@ struct HubShared {
 /// [`crate::BufferRegistry::faults`] or [`crate::Simulation`] APIs.
 #[derive(Clone, Default)]
 pub struct FaultHub {
-    shared: Rc<HubShared>,
+    shared: Arc<HubShared>,
 }
 
 /// One injection site's handle into the hub: an index, resolved once at
 /// registration, so per-message checks do no string hashing.
 #[derive(Clone)]
 pub(crate) struct FaultSite {
-    shared: Rc<HubShared>,
+    shared: Arc<HubShared>,
     idx: usize,
 }
 
@@ -342,13 +351,13 @@ impl FaultSite {
     /// Whether any rule anywhere is armed — the hot-path gate.
     #[inline]
     pub(crate) fn armed(&self) -> bool {
-        self.shared.enabled.get()
+        self.shared.enabled.load(Ordering::Relaxed)
     }
 
     /// Draws this message's verdict from the site's rules (first firing
     /// rule wins). Advances the deciding rule counters.
     pub(crate) fn msg_verdict(&self) -> MsgVerdict {
-        let mut inner = self.shared.inner.borrow_mut();
+        let mut inner = self.shared.inner();
         let site = &mut inner.rules[self.idx];
         for rule in &mut site.msg {
             let n = rule.decisions;
@@ -377,8 +386,8 @@ impl FaultSite {
     /// Whether a stuck-full window currently forces this buffer to report
     /// full.
     pub(crate) fn forced_full(&self) -> bool {
-        let now = self.shared.now_ps.get();
-        let mut inner = self.shared.inner.borrow_mut();
+        let now = self.shared.now_ps.load(Ordering::Relaxed);
+        let mut inner = self.shared.inner();
         let site = &mut inner.rules[self.idx];
         for rule in &mut site.stuck {
             if let FaultKind::StuckFull { from_ps, for_ps } = rule.kind {
@@ -418,9 +427,9 @@ impl FaultHub {
 
     /// Registers (or looks up) an injection site by name.
     pub(crate) fn site(&self, name: &str) -> FaultSite {
-        let idx = self.shared.inner.borrow_mut().ensure_site(name);
+        let idx = self.shared.inner().ensure_site(name);
         FaultSite {
-            shared: Rc::clone(&self.shared),
+            shared: Arc::clone(&self.shared),
             idx,
         }
     }
@@ -428,12 +437,12 @@ impl FaultHub {
     /// Whether any message/buffer rule is armed.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
-        self.shared.enabled.get()
+        self.shared.enabled.load(Ordering::Relaxed)
     }
 
     /// Publishes current virtual time for window evaluation.
     pub(crate) fn set_now_ps(&self, ps: u64) {
-        self.shared.now_ps.set(ps);
+        self.shared.now_ps.store(ps, Ordering::Relaxed);
     }
 
     /// Installs `plan`, appending to any rules already armed.
@@ -443,7 +452,7 @@ impl FaultHub {
     /// itself only registers port/buffer sites.
     pub fn install(&self, plan: &FaultPlan, known_components: &[&str]) -> FaultInstallSummary {
         let mut summary = FaultInstallSummary::default();
-        let mut inner = self.shared.inner.borrow_mut();
+        let mut inner = self.shared.inner();
         inner.seed = plan.seed;
         for (i, rule) in plan.rules.iter().enumerate() {
             summary.rules_installed += 1;
@@ -470,25 +479,27 @@ impl FaultHub {
                 }
             }
         }
-        self.shared.enabled.set(inner.any_site_rules());
+        self.shared
+            .enabled
+            .store(inner.any_site_rules(), Ordering::Relaxed);
         summary
     }
 
     /// Disarms and removes every rule. Registered sites persist.
     pub fn clear(&self) {
-        let mut inner = self.shared.inner.borrow_mut();
+        let mut inner = self.shared.inner();
         for site in &mut inner.rules {
             site.msg.clear();
             site.stuck.clear();
         }
         inner.comp.clear();
-        self.shared.enabled.set(false);
+        self.shared.enabled.store(false, Ordering::Relaxed);
     }
 
     /// The freeze/slow spec for each component named by installed rules,
     /// with windows already folded (`for_ps == 0` → `u64::MAX`).
     pub(crate) fn component_specs(&self) -> Vec<(String, CompFaultSpec)> {
-        let inner = self.shared.inner.borrow();
+        let inner = self.shared.inner();
         inner
             .comp
             .iter()
@@ -517,8 +528,8 @@ impl FaultHub {
     /// for the deadlock analyzer to name as injected suspects.
     #[must_use]
     pub fn active_stuck_sites(&self) -> Vec<String> {
-        let now = self.shared.now_ps.get();
-        let inner = self.shared.inner.borrow();
+        let now = self.shared.now_ps.load(Ordering::Relaxed);
+        let inner = self.shared.inner();
         let mut out = Vec::new();
         for (idx, site) in inner.rules.iter().enumerate() {
             for rule in &site.stuck {
@@ -537,8 +548,8 @@ impl FaultHub {
     /// component rules, both in deterministic site order).
     #[must_use]
     pub fn report(&self) -> FaultReport {
-        let now = self.shared.now_ps.get();
-        let inner = self.shared.inner.borrow();
+        let now = self.shared.now_ps.load(Ordering::Relaxed);
+        let inner = self.shared.inner();
         let mut rules = Vec::new();
         for (&idx, name) in inner.index.iter().map(|(n, i)| (i, n)) {
             let site = &inner.rules[idx];
@@ -573,7 +584,7 @@ impl FaultHub {
             }
         }
         FaultReport {
-            enabled: self.shared.enabled.get() || !inner.comp.is_empty(),
+            enabled: self.shared.enabled.load(Ordering::Relaxed) || !inner.comp.is_empty(),
             seed: inner.seed,
             rules,
         }
@@ -585,7 +596,7 @@ impl FaultHub {
         if count == 0 {
             return;
         }
-        let mut inner = self.shared.inner.borrow_mut();
+        let mut inner = self.shared.inner();
         if let Some(rules) = inner.comp.get_mut(name) {
             for rule in rules {
                 let matches = match rule.kind {
@@ -604,12 +615,12 @@ impl FaultHub {
 
 impl fmt::Debug for FaultHub {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.shared.inner.borrow();
+        let inner = self.shared.inner();
         write!(
             f,
             "FaultHub({} sites, enabled={})",
             inner.sites.len(),
-            self.shared.enabled.get()
+            self.shared.enabled.load(Ordering::Relaxed)
         )
     }
 }

@@ -1,0 +1,301 @@
+//! Differential determinism tests for the conservative-window parallel
+//! engine: for the same topology and workload, `--threads N` must produce a
+//! log of committed events that is bit-identical to `--threads 1` — same
+//! `(time, seq, component, kind)` for every event, in the same order — with
+//! and without an active fault plan.
+//!
+//! The topologies are generated from a seeded LCG so each run of the suite
+//! exercises a fixed but non-trivial random graph; both simulations in a
+//! pair are built from the same seed and therefore identical.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use akita::{
+    downcast_msg, impl_msg, CompBase, Component, Ctx, DirectConnection, EventKind, FaultKind,
+    FaultPlan, FaultRule, Hook, MsgMeta, PartitionPlan, Port, PortId, Simulation, VTime,
+};
+
+/// Deterministic splittable LCG (same constants as glibc's, good enough for
+/// topology shuffling).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 17
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Packet {
+    meta: MsgMeta,
+    /// Remaining forwarding hops; carried state so routing decisions depend
+    /// only on message content, never on engine scheduling.
+    hops: u32,
+    /// Per-packet RNG state used to pick the next hop.
+    rng: u64,
+}
+impl_msg!(Packet);
+
+/// A node in the random graph: injects a fixed burst of packets, and
+/// forwards every received packet `hops` more times along an
+/// LCG-determined route.
+struct Node {
+    base: CompBase,
+    port: Port,
+    /// All node ports, indexable by the packet RNG for next-hop choice.
+    peers: Vec<PortId>,
+    /// Packets this node still has to inject (hops, rng-seed).
+    to_inject: Vec<(u32, u64)>,
+    /// Packets that bounced (Busy) and await retry.
+    pending: Vec<Box<dyn Msg>>,
+    received: u64,
+}
+
+use akita::Msg;
+
+impl Node {
+    fn route(&self, rng: &mut Lcg) -> PortId {
+        self.peers[rng.below(self.peers.len() as u64) as usize]
+    }
+}
+
+impl Component for Node {
+    fn base(&self) -> &CompBase {
+        &self.base
+    }
+    fn base_mut(&mut self) -> &mut CompBase {
+        &mut self.base
+    }
+    fn tick(&mut self, ctx: &mut Ctx) -> bool {
+        let mut progress = false;
+        // Retry bounced sends first, preserving order.
+        let pending = std::mem::take(&mut self.pending);
+        for msg in pending {
+            match self.port.send(ctx, msg) {
+                Ok(()) => progress = true,
+                Err(m) => self.pending.push(m),
+            }
+        }
+        // Inject one fresh packet per tick while any remain.
+        if self.pending.is_empty() {
+            if let Some((hops, seed)) = self.to_inject.pop() {
+                let mut rng = Lcg(seed);
+                let dst = self.route(&mut rng);
+                let pkt = Box::new(Packet {
+                    meta: MsgMeta::new(self.port.id(), dst, 64),
+                    hops,
+                    rng: rng.0,
+                });
+                match self.port.send(ctx, pkt) {
+                    Ok(()) => progress = true,
+                    Err(m) => self.pending.push(m),
+                }
+            }
+        }
+        // Forward received packets that still have hops left.
+        while let Some(msg) = self.port.retrieve(ctx) {
+            progress = true;
+            self.received += 1;
+            let pkt = downcast_msg::<Packet>(msg).expect("packet");
+            if pkt.hops > 0 {
+                let mut rng = Lcg(pkt.rng);
+                let dst = self.route(&mut rng);
+                let fwd = Box::new(Packet {
+                    meta: MsgMeta::new(self.port.id(), dst, 64),
+                    hops: pkt.hops - 1,
+                    rng: rng.0,
+                });
+                if let Err(m) = self.port.send(ctx, fwd) {
+                    self.pending.push(m);
+                }
+            }
+        }
+        progress || !self.pending.is_empty() || !self.to_inject.is_empty()
+    }
+}
+
+/// Records every committed event as `(time_ps, seq, component, kind)`.
+#[derive(Default)]
+struct LogHook {
+    log: Vec<(u64, u64, String, u64)>,
+}
+
+impl Hook for LogHook {
+    fn before_event(&mut self, ev: &akita::Ev, component: &dyn Component) {
+        let kind = match ev.kind {
+            EventKind::Tick => 0,
+            EventKind::Custom(c) => 1 + c,
+        };
+        self.log
+            .push((ev.time.ps(), ev.seq, component.name().to_owned(), kind));
+    }
+}
+
+/// Builds `tiles` groups of `per_tile` nodes each. All node ports share one
+/// "Net" connection (spanning under the tile partitioning); each tile also
+/// gets a private intra-tile connection to exercise the non-relayed path.
+fn build(seed: u64, tiles: usize, per_tile: usize) -> (Simulation, Rc<RefCell<LogHook>>) {
+    let mut sim = Simulation::new();
+    let mut rng = Lcg(seed);
+    let (_, net) = sim.register(DirectConnection::new("Net", VTime::from_ns(1)).with_link_cap(4));
+
+    // First pass: create every node (ports must all exist before routes can
+    // reference them).
+    let mut nodes = Vec::new();
+    for t in 0..tiles {
+        for i in 0..per_tile {
+            let name = format!("Tile[{t}].Node[{i}]");
+            let port = Port::new(&sim.buffer_registry(), format!("{name}.Port"), 2);
+            nodes.push(Node {
+                base: CompBase::new("Node", name),
+                port,
+                peers: Vec::new(),
+                to_inject: Vec::new(),
+                pending: Vec::new(),
+                received: 0,
+            });
+        }
+    }
+    let peers: Vec<PortId> = nodes.iter().map(|n| n.port.id()).collect();
+    for (idx, node) in nodes.iter_mut().enumerate() {
+        node.peers = peers.clone();
+        let bursts = 1 + rng.below(3);
+        for _ in 0..bursts {
+            let hops = rng.below(4) as u32;
+            node.to_inject.push((hops, rng.next() | 1));
+        }
+        let _ = idx;
+    }
+    for node in nodes {
+        let port = node.port.clone();
+        let (id, _) = sim.register(node);
+        sim.connect(&net, &port, id);
+        sim.wake_at(id, VTime::ZERO);
+    }
+    let hook = sim.add_hook(LogHook::default());
+    (sim, hook)
+}
+
+fn tile_key(name: &str) -> String {
+    match name.split_once("].") {
+        Some((tile, _)) if tile.starts_with("Tile[") => format!("{tile}]"),
+        _ => "host".to_owned(),
+    }
+}
+
+fn run_with_threads(
+    seed: u64,
+    threads: usize,
+    faults: Option<&FaultPlan>,
+) -> (Vec<(u64, u64, String, u64)>, u64) {
+    let (mut sim, hook) = build(seed, 3, 4);
+    if let Some(plan) = faults {
+        sim.install_faults(plan);
+    }
+    let plan = PartitionPlan::from_key(&sim, tile_key).expect("partition plan");
+    assert!(plan.partitions() >= 3, "expected one partition per tile");
+    sim.set_parallel(plan, threads).expect("set_parallel");
+    let summary = sim.run();
+    let log = hook.borrow().log.clone();
+    (log, summary.events)
+}
+
+fn assert_identical(seed: u64, faults: Option<&FaultPlan>) {
+    let (log1, ev1) = run_with_threads(seed, 1, faults);
+    let (log4, ev4) = run_with_threads(seed, 4, faults);
+    assert!(!log1.is_empty(), "seed {seed}: simulation did nothing");
+    assert_eq!(ev1, ev4, "seed {seed}: events_total diverged");
+    assert_eq!(
+        log1.len(),
+        log4.len(),
+        "seed {seed}: log length diverged ({} vs {})",
+        log1.len(),
+        log4.len()
+    );
+    for (i, (a, b)) in log1.iter().zip(log4.iter()).enumerate() {
+        assert_eq!(a, b, "seed {seed}: logs diverge at event {i}");
+    }
+}
+
+#[test]
+fn one_vs_four_threads_bit_identical() {
+    for seed in [1, 7, 42, 1234] {
+        assert_identical(seed, None);
+    }
+}
+
+#[test]
+fn one_vs_four_threads_bit_identical_under_faults() {
+    let plan = FaultPlan {
+        seed: 99,
+        rules: vec![
+            FaultRule {
+                site: "Tile[0].Node[1].Port".into(),
+                kind: FaultKind::Drop { prob: 0.2 },
+            },
+            FaultRule {
+                site: "Tile[1].Node[0].Port".into(),
+                kind: FaultKind::Delay {
+                    prob: 0.3,
+                    delay_ps: 1500,
+                },
+            },
+            FaultRule {
+                site: "Tile[2].Node[2].Port".into(),
+                kind: FaultKind::Duplicate { prob: 0.3 },
+            },
+            FaultRule {
+                site: "Tile[0].Node[0].Port".into(),
+                kind: FaultKind::Reorder { prob: 0.25 },
+            },
+            FaultRule {
+                site: "Tile[1].Node[2]".into(),
+                kind: FaultKind::Freeze {
+                    from_ps: 2_000,
+                    for_ps: 5_000,
+                },
+            },
+            FaultRule {
+                site: "Tile[2].Node[0]".into(),
+                kind: FaultKind::Slow { factor: 3 },
+            },
+        ],
+    };
+    for seed in [3, 11, 77] {
+        assert_identical(seed, Some(&plan));
+    }
+}
+
+/// `threads` higher than the partition count must clamp, not crash, and
+/// still merge deterministically.
+#[test]
+fn oversubscribed_threads_clamp_to_partitions() {
+    let (log8, _) = run_with_threads(5, 8, None);
+    let (log1, _) = run_with_threads(5, 1, None);
+    assert_eq!(log1, log8);
+}
+
+/// The parallel report exposes the partition layout.
+#[test]
+fn parallel_report_shape() {
+    let (mut sim, _hook) = build(2, 3, 2);
+    let plan = PartitionPlan::from_key(&sim, tile_key).expect("plan");
+    sim.set_parallel(plan, 2).expect("set_parallel");
+    sim.run();
+    let report = sim.parallel_report().expect("parallel report");
+    // Three tile partitions plus "host" (the Net connection has no tile).
+    assert_eq!(report.partitions.len(), 4);
+    assert!(report.lookahead_ps >= 1000, "Net latency bounds lookahead");
+    assert!(report.windows > 0);
+    let total: u64 = report.partitions.iter().map(|p| p.events).sum();
+    assert!(total > 0);
+}

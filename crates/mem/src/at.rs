@@ -7,9 +7,9 @@
 //! behaviour: translations cost one cycle on a TLB hit and a fixed walk
 //! latency on a miss, and in-flight transactions are exposed via `state()`.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
+use std::sync::{Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
@@ -28,10 +28,14 @@ use crate::tlb2::{TranslationReq, TranslationRsp};
 ///
 /// Unmapped addresses translate to themselves (identity), so standalone
 /// tests can skip the driver entirely.
+///
+/// The map sits behind a `Mutex` (not a `RefCell`) because under the
+/// parallel engine the driver partition fills the table while chiplet
+/// partitions translate through it concurrently.
 #[derive(Debug)]
 pub struct PageTable {
     page_size: u64,
-    map: RefCell<HashMap<u64, u64>>,
+    map: Mutex<HashMap<u64, u64>>,
 }
 
 impl PageTable {
@@ -44,7 +48,7 @@ impl PageTable {
         assert!(page_size.is_power_of_two(), "page size must be 2^n");
         Rc::new(PageTable {
             page_size,
-            map: RefCell::new(HashMap::new()),
+            map: Mutex::new(HashMap::new()),
         })
     }
 
@@ -57,20 +61,29 @@ impl PageTable {
     /// `paddr`.
     pub fn map_page(&self, vaddr: Addr, paddr: Addr) {
         self.map
-            .borrow_mut()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(vaddr / self.page_size, paddr / self.page_size);
     }
 
     /// Number of mapped pages.
     pub fn mapped_pages(&self) -> usize {
-        self.map.borrow().len()
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Translates `vaddr`, falling back to identity for unmapped pages.
     pub fn translate(&self, vaddr: Addr) -> Addr {
         let vpage = vaddr / self.page_size;
         let offset = vaddr % self.page_size;
-        match self.map.borrow().get(&vpage) {
+        match self
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&vpage)
+        {
             Some(ppage) => ppage * self.page_size + offset,
             None => vaddr,
         }

@@ -66,6 +66,11 @@ pub struct Request {
 
 impl Request {
     /// The first query parameter named `name`, if present.
+    ///
+    /// When a key is repeated (`?a=1&a=2`) the *first* occurrence wins;
+    /// later duplicates stay visible in [`Request::query`] for handlers
+    /// that want them. A bare key (`?flag`) and an explicit empty value
+    /// (`?format=`) both return `Some("")`.
     pub fn query_param(&self, name: &str) -> Option<&str> {
         self.query
             .iter()
@@ -194,9 +199,24 @@ impl Response {
     }
 }
 
-/// Decodes `%XX` escapes and `+` in a URL component.
+/// Decodes `%XX` escapes in a URL *path* component.
+///
+/// `+` is left alone: the form-encoding "plus means space" rule applies
+/// only to query strings ([`percent_decode_query`]). Decoding it here
+/// made any component whose name contains a literal `+` (e.g. the paper's
+/// `SA0+SA1.Mux` shared mux) unreachable via `/api/component/<name>`.
 #[must_use]
 pub fn percent_decode(s: &str) -> String {
+    decode_bytes(s, false)
+}
+
+/// Decodes `%XX` escapes and `+`-as-space in a query-string component.
+#[must_use]
+pub fn percent_decode_query(s: &str) -> String {
+    decode_bytes(s, true)
+}
+
+fn decode_bytes(s: &str, plus_as_space: bool) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -216,7 +236,7 @@ pub fn percent_decode(s: &str) -> String {
                     i += 1;
                 }
             }
-            b'+' => {
+            b'+' if plus_as_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -229,12 +249,18 @@ pub fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// Splits a raw query string into decoded `(key, value)` pairs.
+///
+/// Empty pairs (`a&&b`, a trailing `&`) are skipped; a key without `=`
+/// (`?flag`) and a key with an empty value (`?format=`) both yield an
+/// empty-string value; repeated keys are all kept, in order of
+/// appearance, so [`Request::query_param`]'s first-wins rule applies.
 fn parse_query(raw: &str) -> Vec<(String, String)> {
     raw.split('&')
         .filter(|s| !s.is_empty())
         .map(|pair| match pair.split_once('=') {
-            Some((k, v)) => (percent_decode(k), percent_decode(v)),
-            None => (percent_decode(pair), String::new()),
+            Some((k, v)) => (percent_decode_query(k), percent_decode_query(v)),
+            None => (percent_decode_query(pair), String::new()),
         })
         .collect()
 }
@@ -548,9 +574,28 @@ mod tests {
     #[test]
     fn percent_decoding() {
         assert_eq!(percent_decode("GPU%5B0%5D.L2%5B1%5D"), "GPU[0].L2[1]");
-        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        // `+` is a literal in paths — only `%20` means space there. The
+        // old behavior (`+` → space everywhere) made component names
+        // containing `+` unreachable.
+        assert_eq!(percent_decode("a+b%20c"), "a+b c");
         assert_eq!(percent_decode("plain"), "plain");
         assert_eq!(percent_decode("bad%zz"), "bad%zz");
+    }
+
+    #[test]
+    fn plus_in_path_survives_decoding() {
+        // Regression: the paper's shared-mux naming (`SA0+SA1.Mux`) must
+        // round-trip through a path segment untouched.
+        assert_eq!(percent_decode("SA0+SA1.Mux"), "SA0+SA1.Mux");
+        assert_eq!(
+            percent_decode("/api/component/GPU%5B0%5D.SA0+SA1.Mux"),
+            "/api/component/GPU[0].SA0+SA1.Mux"
+        );
+        // In query strings `+` still means space (form encoding).
+        assert_eq!(percent_decode_query("a+b%20c"), "a b c");
+        let q = parse_query("name=SA0%2BSA1.Mux&q=a+b");
+        assert_eq!(q[0], ("name".to_string(), "SA0+SA1.Mux".to_string()));
+        assert_eq!(q[1], ("q".to_string(), "a b".to_string()));
     }
 
     #[test]
@@ -559,6 +604,40 @@ mod tests {
         assert_eq!(q[0], ("name".to_string(), "GPU[0]".to_string()));
         assert_eq!(q[1], ("top".to_string(), "5".to_string()));
         assert_eq!(q[2], ("flag".to_string(), String::new()));
+    }
+
+    #[test]
+    fn query_parsing_edge_cases() {
+        // Explicit empty value vs bare key: both decode to "".
+        let q = parse_query("format=&x=1");
+        assert_eq!(q[0], ("format".to_string(), String::new()));
+        assert_eq!(q[1], ("x".to_string(), "1".to_string()));
+
+        // Repeated key: both occurrences kept, in order.
+        let q = parse_query("a&a=2");
+        assert_eq!(q[0], ("a".to_string(), String::new()));
+        assert_eq!(q[1], ("a".to_string(), "2".to_string()));
+
+        // Trailing `&` and doubled `&&` produce no phantom pairs.
+        let q = parse_query("a=1&");
+        assert_eq!(q, vec![("a".to_string(), "1".to_string())]);
+        let q = parse_query("a=1&&b=2");
+        assert_eq!(q.len(), 2);
+        assert_eq!(parse_query(""), vec![]);
+        assert_eq!(parse_query("&"), vec![]);
+    }
+
+    #[test]
+    fn query_param_is_first_wins() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/api/trace".into(),
+            query: parse_query("format=&format=chrome&x=1"),
+            body: Vec::new(),
+        };
+        assert_eq!(req.query_param("format"), Some(""));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
     }
 
     #[test]

@@ -128,6 +128,13 @@ pub fn render_report(report: &TaskTraceReport, out: &mut String) {
         "gauge",
     );
     for h in &report.histograms {
+        // A site that has completed zero tasks has no latency distribution;
+        // publishing a quantile for it is at best 0 and at worst a bucket
+        // sentinel (~2^47 ps). Omit the gauges entirely — Prometheus treats
+        // an absent series correctly, a bogus value poisons dashboards.
+        if h.count == 0 {
+            continue;
+        }
         let labels = format!(
             "site=\"{}\",kind=\"{}\",phase=\"{}\"",
             escape_label(&h.site),
@@ -141,6 +148,97 @@ pub fn render_report(report: &TaskTraceReport, out: &mut String) {
                 ps as f64 / PS_PER_SEC
             );
         }
+    }
+}
+
+/// Renders the parallel engine's per-partition and per-worker gauges.
+fn render_par(par: &akita::ParSnapshot, out: &mut String) {
+    header(
+        out,
+        "akita_par_windows_total",
+        "Conservative windows completed by the parallel engine.",
+        "counter",
+    );
+    let _ = writeln!(out, "akita_par_windows_total {}", par.windows);
+    header(
+        out,
+        "akita_par_lookahead_seconds",
+        "Conservative window lookahead (virtual time).",
+        "gauge",
+    );
+    let _ = writeln!(
+        out,
+        "akita_par_lookahead_seconds {}",
+        par.lookahead_ps as f64 / PS_PER_SEC
+    );
+    header(
+        out,
+        "akita_par_partition_events_total",
+        "Events committed per partition.",
+        "counter",
+    );
+    for p in &par.partitions {
+        let _ = writeln!(
+            out,
+            "akita_par_partition_events_total{{partition=\"{}\"}} {}",
+            escape_label(&p.name),
+            p.events
+        );
+    }
+    header(
+        out,
+        "akita_par_partition_queue_len",
+        "Pending events per partition at the last window barrier.",
+        "gauge",
+    );
+    for p in &par.partitions {
+        let _ = writeln!(
+            out,
+            "akita_par_partition_queue_len{{partition=\"{}\"}} {}",
+            escape_label(&p.name),
+            p.queue_len
+        );
+    }
+    header(
+        out,
+        "akita_par_partition_dock_pending",
+        "Relayed messages parked in each partition's dock — sustained \
+         nonzero values mark a window-stalled (wedged) partition.",
+        "gauge",
+    );
+    for p in &par.partitions {
+        let _ = writeln!(
+            out,
+            "akita_par_partition_dock_pending{{partition=\"{}\"}} {}",
+            escape_label(&p.name),
+            p.dock_pending
+        );
+    }
+    header(
+        out,
+        "akita_par_worker_busy_seconds_total",
+        "Wall-clock time each worker spent executing partition windows.",
+        "counter",
+    );
+    for (w, ws) in par.workers.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "akita_par_worker_busy_seconds_total{{worker=\"{w}\"}} {}",
+            ws.busy_ns as f64 / 1e9
+        );
+    }
+    header(
+        out,
+        "akita_par_worker_barrier_wait_seconds_total",
+        "Wall-clock time each worker spent waiting at window barriers.",
+        "counter",
+    );
+    for (w, ws) in par.workers.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "akita_par_worker_barrier_wait_seconds_total{{worker=\"{w}\"}} {}",
+            ws.barrier_wait_ns as f64 / 1e9
+        );
     }
 }
 
@@ -183,6 +281,9 @@ pub fn render(m: &Monitor) -> String {
                 escape_label(&kind)
             );
         }
+    }
+    if let Some(par) = m.par_stats() {
+        render_par(&par, &mut out);
     }
     if let Ok(buffers) = m.buffers(BufferSort::Size, None) {
         header(
@@ -272,6 +373,45 @@ mod tests {
             "akita_task_latency_seconds_count{site=\"GPU.L2\",kind=\"read\",phase=\"service\"} 3"
         ));
         assert!(out.contains("akita_task_latency_quantile_seconds{site=\"GPU.L2\",kind=\"read\",phase=\"service\",q=\"0.5\"}"));
+    }
+
+    #[test]
+    fn empty_histogram_publishes_no_quantiles() {
+        // Regression: a site with zero completed tasks used to publish
+        // p50/p95/p99 gauges anyway — 0 at best, a ~2^47 ps bucket
+        // sentinel at worst — wrecking dashboard autoscaling. The gauge
+        // family must be absent for count == 0 sites and present for the
+        // occupied ones.
+        let empty = HistogramSnapshot {
+            site: "GPU.Idle".into(),
+            kind: "read".into(),
+            phase: Phase::Service,
+            count: 0,
+            sum_ps: 0,
+            buckets: vec![0u64; akita::trace::HIST_BUCKETS],
+            p50_ps: 0,
+            p95_ps: 0,
+            p99_ps: 0,
+        };
+        let report = TaskTraceReport {
+            enabled: true,
+            histograms: vec![empty, hist("GPU.L2", "read", Phase::Service)],
+            ..TaskTraceReport::default()
+        };
+        let mut out = String::new();
+        render_report(&report, &mut out);
+        assert!(
+            !out.contains("akita_task_latency_quantile_seconds{site=\"GPU.Idle\""),
+            "zero-count site must not publish quantile gauges:\n{out}"
+        );
+        assert!(
+            out.contains("akita_task_latency_quantile_seconds{site=\"GPU.L2\""),
+            "occupied site keeps its quantiles:\n{out}"
+        );
+        // The histogram family itself stays (count 0 is honest there).
+        assert!(out.contains(
+            "akita_task_latency_seconds_count{site=\"GPU.Idle\",kind=\"read\",phase=\"service\"} 0"
+        ));
     }
 
     #[test]

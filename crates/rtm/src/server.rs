@@ -198,7 +198,9 @@ fn allowed_methods(path: &str) -> Option<&'static str> {
         "/" | "/api/now" | "/api/status" | "/api/components" | "/api/component"
         | "/api/buffers" | "/api/progress" | "/api/resources" | "/api/analysis"
         | "/api/topology" | "/api/trace" | "/api/trace/export" | "/api/alerts" | "/api/watches"
-        | "/api/metrics" | "/api/tasktrace" | "/api/faults" | "/api/activity" => Some("GET"),
+        | "/api/metrics" | "/api/tasktrace" | "/api/faults" | "/api/activity" | "/api/parallel" => {
+            Some("GET")
+        }
         "/api/profile" => Some("GET"),
         "/api/watchdog" => Some("GET, DELETE"),
         "/api/watchdog/enable" | "/api/faults/inject" | "/api/activity/enable" => Some("POST"),
@@ -275,6 +277,26 @@ pub fn route(m: &Monitor, req: &Request) -> Response {
         ("GET", "/api/progress") => api_progress(m),
         ("GET", "/api/resources") => ok_json(&m.resources()),
         ("GET", "/api/analysis") => respond(m.analysis()),
+        ("GET", "/api/parallel") => match m.client().parallel() {
+            // Serial runs answer `None`: 200 with an explicit serial body
+            // rather than a 404, so dashboards can probe unconditionally.
+            Ok(Some(report)) => {
+                // Worker utilization comes from the lock-free stats handle
+                // (when wired in), not the engine, so it stays fresh even
+                // mid-window.
+                let workers = m.par_stats().map(|s| s.workers).unwrap_or_default();
+                ok_json(&serde_json::json!({
+                    "parallel": true,
+                    "threads": (report.threads),
+                    "lookahead_ps": (report.lookahead_ps),
+                    "windows": (report.windows),
+                    "partitions": (report.partitions),
+                    "workers": workers,
+                }))
+            }
+            Ok(None) => ok_json(&serde_json::json!({ "parallel": false })),
+            Err(e) => respond::<akita::ParReport>(Err(e)),
+        },
         ("GET", "/api/profile") => {
             let top = req
                 .query_param("top")

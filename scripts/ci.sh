@@ -25,6 +25,32 @@ cargo bench --offline --workspace --no-run
 echo "==> engine throughput smoke (sanity floor + tracing on/off overhead)"
 cargo run --offline --release -q -p rtm-bench --bin bench_engine -- --smoke
 
+echo "==> parallel engine bit-identity (--threads 2 diffed against --threads 1)"
+# Full event-log identity is asserted at test level (the engine
+# differential suite in crates/akita/tests/par_differential.rs and the
+# MCM-GPU platform test), and the bench smoke above re-asserts the Fig 4
+# chain's event totals at 1 vs 2 threads. This step closes the loop
+# end-to-end through the CLI: the same MCM-GPU FIR run must report the
+# same completion summary (events + virtual time) at both thread counts.
+par_a="$(mktemp)"
+par_b="$(mktemp)"
+cargo run --offline --release -q -p akita-rtm-cli --bin rtm-sim -- \
+    run --workload fir --chiplets 4 --threads 1 --no-monitor |
+    sed -n 's/\( of virtual time\).*/\1/; s/^done: //p' >"$par_a"
+cargo run --offline --release -q -p akita-rtm-cli --bin rtm-sim -- \
+    run --workload fir --chiplets 4 --threads 2 --no-monitor |
+    sed -n 's/\( of virtual time\).*/\1/; s/^done: //p' >"$par_b"
+if [ ! -s "$par_a" ]; then
+    echo "FAIL: --threads 1 run produced no completion summary" >&2
+    exit 1
+fi
+if ! diff "$par_a" "$par_b"; then
+    echo "FAIL: --threads 2 diverged from --threads 1" >&2
+    exit 1
+fi
+echo "parallel bit-identity gate OK ($(cat "$par_a"))"
+rm -f "$par_a" "$par_b"
+
 echo "==> fault-injection smoke (determinism, clean drop drain, hang diagnosis)"
 cargo run --offline --release -q -p rtm-bench --bin fault_smoke
 
